@@ -1,0 +1,275 @@
+package ooindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/stats"
+)
+
+// Re-exported schema types: classes, attributes, paths (Definition 2.1).
+type (
+	// Schema is an OO database schema: classes with attributes, inheritance
+	// and aggregation hierarchies.
+	Schema = schema.Schema
+	// Class is one class of a schema.
+	Class = schema.Class
+	// Attribute describes a class attribute.
+	Attribute = schema.Attribute
+	// Path is a path C1.A1...An over the aggregation hierarchy.
+	Path = schema.Path
+)
+
+// Attribute kinds.
+const (
+	// Atomic marks a primitive-domain attribute.
+	Atomic = schema.Atomic
+	// Ref marks a reference attribute (part-of relationship).
+	Ref = schema.Ref
+)
+
+// Re-exported statistics and workload types (Section 3).
+type (
+	// Params are the physical storage parameters.
+	Params = model.Params
+	// ClassStats are one class's statistics for its path attribute.
+	ClassStats = model.ClassStats
+	// Load is the (query, insert, delete) frequency triplet of a class.
+	Load = model.Load
+	// PathStats couples a path with per-level statistics and workload.
+	PathStats = model.PathStats
+)
+
+// Re-exported cost and selection types (Sections 4–5).
+type (
+	// Organization is an index organization (MX, MIX, NIX, NONE).
+	Organization = cost.Organization
+	// Assignment pairs a subpath with an organization.
+	Assignment = core.Assignment
+	// Configuration is an index configuration IC_m(P).
+	Configuration = core.Configuration
+	// Matrix is the per-subpath, per-organization cost matrix.
+	Matrix = core.Matrix
+	// Result couples the optimal configuration with search statistics.
+	Result = core.Result
+)
+
+// Index organizations.
+const (
+	// MX is the multi-index organization.
+	MX = cost.MX
+	// MIX is the multi-inherited index organization.
+	MIX = cost.MIX
+	// NIX is the nested inherited index organization.
+	NIX = cost.NIX
+	// NoIndex leaves a subpath unindexed (the Section 6 extension).
+	NoIndex = cost.NONE
+	// PathIndexOrg is the path index of [6] (Section 6 incorporation),
+	// with both an analytic cost model and a working implementation.
+	PathIndexOrg = cost.PX
+	// NestedIndexOrg is the nested index of [1] (Section 6 incorporation),
+	// with an analytic cost model and a working structure that answers
+	// starting-class queries only.
+	NestedIndexOrg = cost.NX
+)
+
+// Re-exported working-database types.
+type (
+	// Store is the paged object store.
+	Store = oodb.Store
+	// OID identifies a stored object.
+	OID = oodb.OID
+	// Value is an attribute value (integer, string or reference).
+	Value = oodb.Value
+	// Object is a stored object.
+	Object = oodb.Object
+	// Database couples a store with the working indexes of a configuration.
+	Database = exec.Configured
+	// Generated is a synthetic database materialized from statistics.
+	Generated = gen.Generated
+)
+
+// IntV, StrV and RefV construct attribute values.
+func IntV(v int64) Value  { return oodb.IntV(v) }
+func StrV(v string) Value { return oodb.StrV(v) }
+func RefV(o OID) Value    { return oodb.RefV(o) }
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return schema.New() }
+
+// NewPath builds and validates a path from a starting class through the
+// named attributes (Definition 2.1).
+func NewPath(s *Schema, start string, attrs ...string) (*Path, error) {
+	return schema.NewPath(s, start, attrs...)
+}
+
+// NewPathStats builds a statistics skeleton for a path; fill it with
+// (*PathStats).MustSet or SetClass/SetLoad.
+func NewPathStats(p *Path, params Params) *PathStats { return model.NewPathStats(p, params) }
+
+// DefaultParams returns 4 KiB-page physical parameters.
+func DefaultParams() Params { return model.DefaultParams() }
+
+// PaperParams returns the 1 KiB-page parameters calibrated to reproduce
+// the paper's Example 5.1 (see EXPERIMENTS.md).
+func PaperParams() Params { return model.PaperParams() }
+
+// PaperSchema returns the Figure 1 schema (Person/Vehicle/Bus/Truck/
+// Company/Division).
+func PaperSchema() *Schema { return schema.PaperSchema() }
+
+// PaperPath returns P_e = Person.owns.man.name (Example 2.1).
+func PaperPath() *Path { return schema.PaperPathOwnsManName() }
+
+// Figure7Stats returns the Example 5.1 path with the Figure 7 statistics
+// and workload.
+func Figure7Stats() *PathStats { return model.Figure7Stats() }
+
+// Organizations is the paper's organization set {MX, MIX, NIX}.
+var Organizations = cost.Organizations
+
+// OrganizationsWithNoIndex adds the no-index extension column.
+var OrganizationsWithNoIndex = cost.OrganizationsWithNone
+
+// OrganizationsExtended is the full column set: the paper's three plus the
+// Section 6 incorporations (PX, NX) and the no-index option.
+var OrganizationsExtended = cost.OrganizationsExtended
+
+// NaiveQueryRange evaluates A_n IN [lo, hi) by forward navigation.
+func NaiveQueryRange(st *Store, p *Path, lo, hi Value, targetClass string, hierarchy bool) ([]OID, error) {
+	return exec.NaiveQueryRange(st, p, lo, hi, targetClass, hierarchy)
+}
+
+// CollectStats derives PathStats from a live store by scanning each class
+// once: cardinalities, distinct value counts and fan-outs per level.
+// Workload frequencies are left zero (they describe future operations);
+// fill them with SetLoad or stats helpers before selecting.
+func CollectStats(st *Store, p *Path, params Params) (*PathStats, error) {
+	return stats.Collect(st, p, params)
+}
+
+// CostMatrix computes the Cost_Matrix of Section 5 for a path's statistics
+// under the given organizations (nil means {MX, MIX, NIX}).
+func CostMatrix(ps *PathStats, orgs []Organization) (*Matrix, error) {
+	return core.NewMatrixFromStats(ps, orgs)
+}
+
+// Select runs the full selection algorithm — Cost_Matrix, Min_Cost and the
+// branch-and-bound Opt_Ind_Con — returning the optimal configuration, the
+// search statistics, and the matrix for inspection.
+func Select(ps *PathStats, orgs []Organization) (Result, *Matrix, error) {
+	return core.Select(ps, orgs)
+}
+
+// SubpathCost prices one subpath [a..b] under one organization
+// (Proposition 4.2's per-subpath term).
+func SubpathCost(ps *PathStats, a, b int, org Organization) (float64, error) {
+	sc, err := cost.SubpathProcessingCost(ps, a, b, org)
+	if err != nil {
+		return 0, err
+	}
+	return sc.Total(), nil
+}
+
+// NewStore creates an empty object store over the schema.
+func NewStore(s *Schema, pageSize int) (*Store, error) { return oodb.NewStore(s, pageSize) }
+
+// Generate materializes a synthetic database matching ps scaled by scale.
+func Generate(ps *PathStats, scale float64, seed int64) (*Generated, error) {
+	return gen.Generate(ps, scale, seed)
+}
+
+// Open builds the working index structures of a configuration over a
+// store's current contents and returns the coupled database: Query,
+// Insert and Delete keep the indexes maintained.
+func Open(st *Store, p *Path, cfg Configuration, pageSize int) (*Database, error) {
+	return exec.NewConfigured(st, p, cfg, pageSize)
+}
+
+// NaiveQuery evaluates a nested predicate by forward navigation, without
+// indexes — the baseline the paper's introduction motivates indexing with.
+func NaiveQuery(st *Store, p *Path, value Value, targetClass string, hierarchy bool) ([]OID, error) {
+	return exec.NaiveQuery(st, p, value, targetClass, hierarchy)
+}
+
+// MultiPlan is the result of selecting configurations for several paths
+// (the Section 6 "further research" extension): per-path configurations
+// plus the deduplicated set of physical subpath indexes, where paths
+// sharing a structurally identical indexed subpath share one structure.
+type MultiPlan struct {
+	// Configs holds the optimal configuration of each input path.
+	Configs []Configuration
+	// SharedSubpaths lists the physical structures shared by at least two
+	// paths, rendered as "Class.Attr...Attr/ORG".
+	SharedSubpaths []string
+	// TotalCost is the summed processing cost after sharing: a shared
+	// structure's maintenance-only duplicates are counted once.
+	TotalCost float64
+	// UnsharedCost is the cost without sharing (the sum of the per-path
+	// optima), for comparison.
+	UnsharedCost float64
+}
+
+// SelectMulti selects configurations for several paths and merges
+// structurally identical indexed subpaths. Paths must share a schema.
+func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
+	var plan MultiPlan
+	if len(pss) == 0 {
+		return plan, fmt.Errorf("ooindex: no paths given")
+	}
+	// Sharing model: a physical structure (identical subpath and
+	// organization) is maintained once, so its maintenance cost (including
+	// the Definition 4.2 boundary charge) is counted once across paths;
+	// each path's query load on the structure is genuinely additional and
+	// is charged per path.
+	type physical struct {
+		maint float64 // maximum per-path maintenance cost (identical stats
+		// yield identical values; max is the conservative merge)
+		n int
+	}
+	structures := make(map[string]*physical)
+	for _, ps := range pss {
+		res, m, err := core.Select(ps, orgs)
+		if err != nil {
+			return plan, err
+		}
+		plan.Configs = append(plan.Configs, res.Best)
+		plan.UnsharedCost += res.Best.Cost
+		for _, asg := range res.Best.Assignments {
+			sp, err := ps.Path.SubPath(asg.A, asg.B)
+			if err != nil {
+				return plan, err
+			}
+			entry, ok := m.Entry(asg.A, asg.B, asg.Org)
+			if !ok {
+				return plan, fmt.Errorf("ooindex: missing matrix entry for %s", sp)
+			}
+			key := sp.String() + "/" + asg.Org.String()
+			maint := entry.SC.Maint + entry.SC.CMD
+			plan.TotalCost += entry.SC.Query
+			if st, ok := structures[key]; ok {
+				st.n++
+				if maint > st.maint {
+					st.maint = maint
+				}
+			} else {
+				structures[key] = &physical{maint: maint, n: 1}
+			}
+		}
+	}
+	for key, st := range structures {
+		plan.TotalCost += st.maint
+		if st.n > 1 {
+			plan.SharedSubpaths = append(plan.SharedSubpaths, key)
+		}
+	}
+	sort.Strings(plan.SharedSubpaths)
+	return plan, nil
+}

@@ -1,0 +1,285 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index). Each benchmark prints the
+// paper-relevant metrics once via b.Log when run with -v; the benchmark
+// timings themselves measure the cost of the reproduction machinery.
+//
+//	go test -bench=. -benchmem
+package ooindex
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// BenchmarkFig6Selection regenerates Figure 6's walkthrough: the
+// branch-and-bound selection over the hypothetical matrix.
+func BenchmarkFig6Selection(b *testing.B) {
+	m := core.Figure6Matrix()
+	var r core.Result
+	for i := 0; i < b.N; i++ {
+		r = m.OptIndCon()
+	}
+	b.ReportMetric(float64(r.Stats.Evaluated), "configs-evaluated")
+	b.ReportMetric(r.Best.Cost, "optimal-cost")
+}
+
+// BenchmarkFig8Matrix regenerates Figure 8: the full cost matrix from the
+// Figure 7 statistics plus the optimal configuration of Example 5.1.
+func BenchmarkFig8Matrix(b *testing.B) {
+	var rep experiments.Fig8Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Result.Best.Cost, "optimal-cost")
+	b.ReportMetric(rep.WholePathNIX, "whole-path-NIX")
+	b.ReportMetric(rep.ImprovementFactor, "improvement-factor")
+	b.ReportMetric(float64(rep.Result.Stats.Evaluated), "configs-evaluated")
+}
+
+// BenchmarkSelectionBnB / Exhaustive / DP regenerate the Section 5
+// complexity comparison (experiment C1) at a fixed length.
+func benchSelection(b *testing.B, n int, run func(*core.Matrix) core.Result) {
+	ps, err := experiments.ChainStats(n, 20000, 2000, 2,
+		model.Load{Alpha: 0.3, Beta: 0.1, Gamma: 0.1}, model.PaperParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMatrixFromStats(ps, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var r core.Result
+	for i := 0; i < b.N; i++ {
+		r = run(m)
+	}
+	b.ReportMetric(float64(r.Stats.Evaluated), "configs-evaluated")
+}
+
+func BenchmarkSelectionBnB(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSelection(b, n, func(m *core.Matrix) core.Result { return m.OptIndCon() })
+		})
+	}
+}
+
+func BenchmarkSelectionExhaustive(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSelection(b, n, func(m *core.Matrix) core.Result { return m.Exhaustive() })
+		})
+	}
+}
+
+func BenchmarkSelectionDP(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSelection(b, n, func(m *core.Matrix) core.Result { return m.DP() })
+		})
+	}
+}
+
+// BenchmarkCostMatrix measures Cost_Matrix construction alone (the
+// dominant term the paper's complexity discussion identifies for
+// practical path lengths).
+func BenchmarkCostMatrix(b *testing.B) {
+	ps := model.Figure7Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewMatrixFromStats(ps, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidation regenerates experiment V1 (analytic vs measured).
+func BenchmarkValidation(b *testing.B) {
+	var rep experiments.ValidationReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.RunValidation(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rep.Rows {
+		op := strings.ReplaceAll(row.Operation, " ", "-")
+		b.ReportMetric(row.Ratio, row.Org.String()+"/"+op+"/ratio")
+	}
+}
+
+// BenchmarkWorkloadSweep regenerates experiment W1.
+func BenchmarkWorkloadSweep(b *testing.B) {
+	lambdas := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWorkloadSweep(lambdas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathLengthSweep regenerates experiment S1.
+func BenchmarkPathLengthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunShapeSweep(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDB builds a small physical database with one configuration for the
+// index-operation benchmarks.
+func benchDB(b *testing.B, cfg core.Configuration) (*gen.Generated, *exec.Configured) {
+	b.Helper()
+	ps := Figure7Stats()
+	g, err := gen.Generate(ps, 0.002, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := exec.NewConfigured(g.Store, g.Path, cfg, ps.Params.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.ResetStats() // exclude bulk-load accesses from per-op metrics
+	g.Store.Pager().ResetStats()
+	return g, db
+}
+
+// BenchmarkQueryConfigured measures point queries through the Example 5.1
+// optimal configuration on a materialized database.
+func BenchmarkQueryConfigured(b *testing.B) {
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: NIX}, {A: 3, B: 4, Org: MX},
+	}}
+	g, db := benchDB(b, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(g.EndValues[i%len(g.EndValues)], "Person", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(db.IndexStats().Accesses())/float64(b.N), "page-accesses/op")
+}
+
+// BenchmarkQueryNaive measures the same queries by forward navigation.
+func BenchmarkQueryNaive(b *testing.B) {
+	ps := Figure7Stats()
+	g, err := gen.Generate(ps, 0.002, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Store.Pager().ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.NaiveQuery(g.Store, g.Path, g.EndValues[i%len(g.EndValues)], "Person", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(g.Store.Pager().Stats().Accesses())/float64(b.N), "page-accesses/op")
+}
+
+// BenchmarkMaintenance measures insert+delete round-trips through each
+// whole-path organization.
+func BenchmarkMaintenance(b *testing.B) {
+	for _, org := range Organizations {
+		b.Run(org.String(), func(b *testing.B) {
+			cfg := core.Configuration{Assignments: []core.Assignment{{A: 1, B: 4, Org: org}}}
+			g, db := benchDB(b, cfg)
+			veh := g.ByClass["Vehicle"]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				oid, err := db.Insert("Person", map[string][]Value{
+					"owns": {RefV(veh[i%len(veh)])},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := db.Delete(oid); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.IndexStats().Accesses())/float64(b.N), "page-accesses/op")
+		})
+	}
+}
+
+// BenchmarkSelectMulti measures the multi-path extension.
+func BenchmarkSelectMulti(b *testing.B) {
+	psA := Figure7Stats()
+	psB := Figure7Stats()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectMulti([]*PathStats{psA, psB}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtendedSelection regenerates experiment X1 (PX/NX/NONE columns).
+func BenchmarkExtendedSelection(b *testing.B) {
+	var rep experiments.ExtendedReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.RunExtended()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Result.Best.Cost, "extended-optimal-cost")
+	b.ReportMetric(rep.Baseline.Best.Cost, "baseline-optimal-cost")
+}
+
+// BenchmarkSelectivitySweep regenerates experiment R1 (range predicates).
+func BenchmarkSelectivitySweep(b *testing.B) {
+	sels := []float64{0, 0.001, 0.01, 0.05, 0.2}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSelectivitySweep(sels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBufferAblation regenerates experiment B1 (buffer pool).
+func BenchmarkBufferAblation(b *testing.B) {
+	var rep experiments.BufferReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.RunBufferAblation(2000, 5000, []int{0, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Points[len(rep.Points)-1].HitRate, "hit-rate-64")
+}
+
+// BenchmarkQueryRangeConfigured measures range queries through a working
+// configuration (experiment R1's physical counterpart).
+func BenchmarkQueryRangeConfigured(b *testing.B) {
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: NIX}, {A: 3, B: 4, Org: MX},
+	}}
+	g, db := benchDB(b, cfg)
+	lo, hi := g.EndValues[0], g.EndValues[len(g.EndValues)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryRange(lo, hi, "Person", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(db.IndexStats().Accesses())/float64(b.N), "page-accesses/op")
+}

@@ -1,0 +1,125 @@
+// Command ixbench regenerates the paper's figures and tables plus the
+// extension experiments documented in DESIGN.md:
+//
+//	ixbench -run all          # everything
+//	ixbench -run fig6         # Figure 6 walkthrough (Section 5)
+//	ixbench -run fig8         # Figures 7/8, Example 5.1
+//	ixbench -run complexity   # Section 5 complexity claims (C1)
+//	ixbench -run validate     # analytic vs measured page accesses (V1)
+//	ixbench -run workload     # workload-mix sweep (W1)
+//	ixbench -run sweep        # path-length sweep (S1)
+//	ixbench -run extended     # PX/NX/NONE extended organizations (X1)
+//	ixbench -run selectivity  # range-predicate sweep (R1)
+//	ixbench -run buffer       # buffer-pool ablation (B1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all|fig6|fig8|complexity|validate|workload|sweep|extended|selectivity|buffer")
+	maxN := flag.Int("maxn", 10, "maximum path length for complexity/sweep experiments")
+	trials := flag.Int("trials", 20, "random matrices per length in the complexity experiment")
+	seed := flag.Int64("seed", 42, "random seed for generated databases and matrices")
+	flag.Parse()
+
+	if err := runExperiments(*run, *maxN, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ixbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(which string, maxN, trials int, seed int64) error {
+	want := func(name string) bool { return which == "all" || which == name }
+	ran := false
+
+	if want("fig6") {
+		ran = true
+		section("F6 — Figure 6 walkthrough")
+		fmt.Println(experiments.RunFig6().Render())
+	}
+	if want("fig8") {
+		ran = true
+		section("F7/F8 — Example 5.1 (Figures 7 and 8)")
+		rep, err := experiments.RunFig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("complexity") {
+		ran = true
+		section("C1 — Section 5 complexity claims")
+		fmt.Println(experiments.RunComplexity(maxN, trials, seed).Render())
+	}
+	if want("validate") {
+		ran = true
+		section("V1 — cost model vs working indexes")
+		rep, err := experiments.RunValidation(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("workload") {
+		ran = true
+		section("W1 — workload-mix sweep")
+		rep, err := experiments.RunWorkloadSweep([]float64{0, 0.25, 0.5, 0.75, 1})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("sweep") {
+		ran = true
+		section("S1 — path-length sweep")
+		rep, err := experiments.RunShapeSweep(maxN)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("extended") {
+		ran = true
+		section("X1 — extended organizations (PX/NX/NONE, Section 6)")
+		rep, err := experiments.RunExtended()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("selectivity") {
+		ran = true
+		section("R1 — range-predicate selectivity sweep")
+		rep, err := experiments.RunSelectivitySweep([]float64{0, 0.001, 0.01, 0.05, 0.2})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("buffer") {
+		ran = true
+		section("B1 — buffer-pool ablation")
+		rep, err := experiments.RunBufferAblation(2000, 5000, []int{0, 4, 16, 64})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}
+
+func section(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}

@@ -1,0 +1,58 @@
+// Workloadtuning shows how the optimal index configuration shifts with
+// the workload mix: sweeping the query share λ from pure updates (λ=0) to
+// pure queries (λ=1) on the Figure 7 statistics, the optimum moves from
+// cheap-to-maintain fine splits to the whole-path nested inherited index —
+// the trade-off at the heart of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ooindex "repro"
+)
+
+func main() {
+	fmt.Println("Optimal configuration vs query share λ for Person.owns.man.divs.name")
+	fmt.Println()
+	fmt.Printf("%-8s  %-34s  %10s  %12s  %12s\n", "λ", "optimal configuration", "cost", "whole NIX", "whole MX")
+
+	for _, lam := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		ps := scaledWorkload(lam)
+		res, m, err := ooindex.Select(ps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nix, _ := m.Cell(1, ps.Len(), ooindex.NIX)
+		mx, _ := m.Cell(1, ps.Len(), ooindex.MX)
+		fmt.Printf("%-8.2f  %-34s  %10.2f  %12.2f  %12.2f\n", lam, res.Best.String(), res.Best.Cost, nix, mx)
+	}
+
+	fmt.Println()
+	fmt.Println("With the no-index extension column (Section 6), a pure-update workload")
+	fmt.Println("chooses to index nothing at all:")
+	ps := scaledWorkload(0)
+	res, _, err := ooindex.Select(ps, ooindex.OrganizationsWithNoIndex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  λ=0.00: %v (cost %.2f)\n", res.Best, res.Best.Cost)
+}
+
+// scaledWorkload returns the Figure 7 statistics with query frequencies
+// scaled by lam and update frequencies by 1-lam.
+func scaledWorkload(lam float64) *ooindex.PathStats {
+	ps := ooindex.Figure7Stats()
+	for l := 1; l <= ps.Len(); l++ {
+		ls := ps.Level(l)
+		for x := range ls.Loads {
+			base := ls.Loads[x]
+			ls.Loads[x] = ooindex.Load{
+				Alpha: base.Alpha * lam,
+				Beta:  base.Beta * (1 - lam),
+				Gamma: base.Gamma * (1 - lam),
+			}
+		}
+	}
+	return ps
+}

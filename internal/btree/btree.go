@@ -1,0 +1,509 @@
+// Package btree implements the page-based B+-tree underlying every index
+// organization of the paper: chained leaves, byte-budgeted nodes (one node
+// per page), and overflow chains for index records that exceed a page —
+// the "index record occupies more than one page" case of Section 3.1.
+//
+// Every node visit and overflow-page access goes through a storage.Pager,
+// so the page-access counts the analytic cost model predicts can be
+// measured on the running structure. Node contents are kept as parsed
+// in-memory entries with exact byte accounting against the page budget
+// rather than being physically serialized into the page; the access
+// pattern, fan-out, height and split behaviour are those of an on-disk
+// tree (see DESIGN.md).
+//
+// Deletion is lazy: entries are removed but nodes are not merged, so the
+// height never shrinks — the usual simplification in storage simulators.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+const (
+	entryHeader = 4 // per-entry bookkeeping bytes budgeted in a node
+	ptrLen      = 8 // budgeted size of a page pointer
+)
+
+// Tree is a B+-tree keyed by byte slices in bytes.Compare order.
+type Tree struct {
+	pager *storage.Pager
+	name  string
+	root  *node
+	nodes map[storage.PageID]*node
+	size  int // number of keys
+}
+
+type record struct {
+	inline   []byte
+	overflow []storage.PageID // chunks when the value exceeds the page size
+	length   int
+}
+
+type node struct {
+	page *storage.Page
+	leaf bool
+	keys [][]byte
+	kids []*node   // internal: len(kids) == len(keys)+1
+	vals []*record // leaf: parallel to keys
+	next *node     // leaf chain
+}
+
+// New creates an empty tree whose pages come from pager. name tags pages
+// for diagnostics.
+func New(pager *storage.Pager, name string) *Tree {
+	t := &Tree{pager: pager, name: name, nodes: make(map[storage.PageID]*node)}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	n := &node{page: t.pager.Alloc(t.name), leaf: leaf}
+	t.nodes[n.page.ID] = n
+	return n
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels, counting the leaf level; an empty
+// tree has height 1. Overflow chains do not add levels.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.kids[0] {
+		h++
+	}
+	return h
+}
+
+// Pager exposes the tree's pager for access accounting.
+func (t *Tree) Pager() *storage.Pager { return t.pager }
+
+// LeafPages returns the number of leaf pages (excluding overflow chains).
+func (t *Tree) LeafPages() int {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	count := 0
+	for ; n != nil; n = n.next {
+		count++
+	}
+	return count
+}
+
+// bytesOf returns the budgeted byte cost of one entry.
+func (t *Tree) bytesOf(n *node, i int) int {
+	if n.leaf {
+		r := n.vals[i]
+		if len(r.overflow) > 0 {
+			return entryHeader + len(n.keys[i]) + ptrLen
+		}
+		return entryHeader + len(n.keys[i]) + len(r.inline)
+	}
+	return entryHeader + len(n.keys[i]) + ptrLen
+}
+
+func (t *Tree) nodeBytes(n *node) int {
+	total := 0
+	for i := range n.keys {
+		total += t.bytesOf(n, i)
+	}
+	if !n.leaf {
+		total += ptrLen // the extra child pointer
+	}
+	return total
+}
+
+// visit counts a read of the node's page.
+func (t *Tree) visit(n *node) {
+	if _, err := t.pager.Read(n.page.ID); err != nil {
+		panic(fmt.Sprintf("btree %s: lost page %d: %v", t.name, n.page.ID, err))
+	}
+}
+
+// modified counts a write of the node's page.
+func (t *Tree) modified(n *node) {
+	if err := t.pager.Write(n.page); err != nil {
+		panic(fmt.Sprintf("btree %s: lost page %d: %v", t.name, n.page.ID, err))
+	}
+}
+
+// makeRecord builds a record, spilling to overflow pages when the value
+// cannot share a leaf page. Overflow pages are written once on creation.
+func (t *Tree) makeRecord(val []byte) *record {
+	ps := t.pager.PageSize()
+	if len(val) <= ps/2 {
+		return &record{inline: append([]byte(nil), val...), length: len(val)}
+	}
+	r := &record{length: len(val)}
+	for off := 0; off < len(val); off += ps {
+		pg := t.pager.Alloc(t.name + "/ovf")
+		end := off + ps
+		if end > len(val) {
+			end = len(val)
+		}
+		copy(pg.Data, val[off:end])
+		t.modified(t.ovfNode(pg))
+		r.overflow = append(r.overflow, pg.ID)
+	}
+	// Stash the bytes for reconstruction; pages carry the copies.
+	r.inline = append([]byte(nil), val...)
+	return r
+}
+
+// ovfNode wraps an overflow page so modified() can account it; overflow
+// pages are not tree nodes but share the pager.
+func (t *Tree) ovfNode(pg *storage.Page) *node { return &node{page: pg} }
+
+func (t *Tree) freeRecord(r *record) {
+	for _, id := range r.overflow {
+		if err := t.pager.Free(id); err != nil {
+			panic(fmt.Sprintf("btree %s: double free of overflow page %d: %v", t.name, id, err))
+		}
+	}
+}
+
+// readRecord counts the page accesses of reading a record's value:
+// overflow pages are read individually; inline values ride along with the
+// already-visited leaf.
+func (t *Tree) readRecord(r *record) []byte {
+	for _, id := range r.overflow {
+		if _, err := t.pager.Read(id); err != nil {
+			panic(fmt.Sprintf("btree %s: lost overflow page %d: %v", t.name, id, err))
+		}
+	}
+	return append([]byte(nil), r.inline...)
+}
+
+// Get returns the value stored under key, reading the full record.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	t.visit(n)
+	for !n.leaf {
+		n = n.kids[childIndex(n.keys, key)]
+		t.visit(n)
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return nil, false
+	}
+	return t.readRecord(n.vals[i]), true
+}
+
+// GetSection returns value[off:off+length] reading only the overflow pages
+// that cover the section — the partial-record retrieval the NIX primary
+// index performs through its class directory (Figure 3).
+func (t *Tree) GetSection(key []byte, off, length int) ([]byte, bool) {
+	n := t.root
+	t.visit(n)
+	for !n.leaf {
+		n = n.kids[childIndex(n.keys, key)]
+		t.visit(n)
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return nil, false
+	}
+	r := n.vals[i]
+	if off < 0 || off > r.length {
+		return nil, false
+	}
+	end := off + length
+	if end > r.length {
+		end = r.length
+	}
+	if len(r.overflow) > 0 {
+		ps := t.pager.PageSize()
+		first := off / ps
+		last := (end - 1) / ps
+		if end <= off {
+			last = first
+		}
+		for p := first; p <= last && p < len(r.overflow); p++ {
+			if _, err := t.pager.Read(r.overflow[p]); err != nil {
+				panic(fmt.Sprintf("btree %s: lost overflow page: %v", t.name, err))
+			}
+		}
+	}
+	return append([]byte(nil), r.inline[off:end]...), true
+}
+
+// Insert stores val under key, replacing any existing value.
+func (t *Tree) Insert(key, val []byte) {
+	if key == nil {
+		panic("btree: nil key")
+	}
+	t.insert(t.root, key, val)
+	if t.nodeBytes(t.root) > t.pager.PageSize() {
+		// Grow a new root.
+		left := t.root
+		mid, right := t.split(left)
+		root := t.newNode(false)
+		root.keys = [][]byte{mid}
+		root.kids = []*node{left, right}
+		t.root = root
+		t.modified(root)
+	}
+}
+
+func (t *Tree) insert(n *node, key, val []byte) {
+	t.visit(n)
+	if n.leaf {
+		i, ok := leafIndex(n.keys, key)
+		if ok {
+			old := n.vals[i]
+			t.freeRecord(old)
+			n.vals[i] = t.makeRecord(val)
+		} else {
+			i = childIndex(n.keys, key)
+			n.keys = insertAt(n.keys, i, append([]byte(nil), key...))
+			n.vals = insertRecAt(n.vals, i, t.makeRecord(val))
+			t.size++
+		}
+		t.modified(n)
+		return
+	}
+	ci := childIndex(n.keys, key)
+	child := n.kids[ci]
+	t.insert(child, key, val)
+	if t.nodeBytes(child) > t.pager.PageSize() {
+		mid, right := t.split(child)
+		n.keys = insertAt(n.keys, ci, mid)
+		n.kids = insertNodeAt(n.kids, ci+1, right)
+		t.modified(n)
+	}
+}
+
+// split halves a node, returning the separator key and the new right node.
+func (t *Tree) split(n *node) ([]byte, *node) {
+	right := t.newNode(n.leaf)
+	h := len(n.keys) / 2
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[h:]...)
+		right.vals = append(right.vals, n.vals[h:]...)
+		n.keys = n.keys[:h:h]
+		n.vals = n.vals[:h:h]
+		right.next = n.next
+		n.next = right
+		sep := append([]byte(nil), right.keys[0]...)
+		t.modified(n)
+		t.modified(right)
+		return sep, right
+	}
+	// Internal: the middle key moves up.
+	sep := n.keys[h]
+	right.keys = append(right.keys, n.keys[h+1:]...)
+	right.kids = append(right.kids, n.kids[h+1:]...)
+	n.keys = n.keys[:h:h]
+	n.kids = n.kids[: h+1 : h+1]
+	t.modified(n)
+	t.modified(right)
+	return sep, right
+}
+
+// Update applies fn to the current value of key (nil if absent) and stores
+// the result; returning nil from fn deletes the key. It reports whether the
+// key exists after the call.
+func (t *Tree) Update(key []byte, fn func(old []byte) []byte) bool {
+	old, exists := t.Get(key)
+	var in []byte
+	if exists {
+		in = old
+	}
+	out := fn(in)
+	if out == nil {
+		if exists {
+			t.Delete(key)
+		}
+		return false
+	}
+	t.Insert(key, out)
+	return true
+}
+
+// Delete removes key, reporting whether it was present. Nodes are not
+// merged (lazy deletion).
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	t.visit(n)
+	for !n.leaf {
+		n = n.kids[childIndex(n.keys, key)]
+		t.visit(n)
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return false
+	}
+	t.freeRecord(n.vals[i])
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	t.modified(n)
+	return true
+}
+
+// Ascend calls fn for every key/value in order until fn returns false.
+// Each leaf page and overflow page read is counted.
+func (t *Tree) Ascend(fn func(key, val []byte) bool) {
+	n := t.root
+	t.visit(n)
+	for !n.leaf {
+		n = n.kids[0]
+		t.visit(n)
+	}
+	for ; n != nil; n = n.next {
+		for i := range n.keys {
+			if !fn(append([]byte(nil), n.keys[i]...), t.readRecord(n.vals[i])) {
+				return
+			}
+		}
+		if n.next != nil {
+			t.visit(n.next)
+		}
+	}
+}
+
+// AscendRange calls fn for keys in [lo, hi) in order until fn returns
+// false. A nil lo starts at the smallest key; nil hi runs to the end.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key, val []byte) bool) {
+	n := t.root
+	t.visit(n)
+	for !n.leaf {
+		if lo == nil {
+			n = n.kids[0]
+		} else {
+			n = n.kids[childIndex(n.keys, lo)]
+		}
+		t.visit(n)
+	}
+	for ; n != nil; n = n.next {
+		for i := range n.keys {
+			if lo != nil && bytes.Compare(n.keys[i], lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(append([]byte(nil), n.keys[i]...), t.readRecord(n.vals[i])) {
+				return
+			}
+		}
+		if n.next != nil {
+			t.visit(n.next)
+		}
+	}
+}
+
+// Validate checks the tree's structural invariants: key ordering within and
+// across nodes, separator correctness, byte budgets, and leaf chaining.
+func (t *Tree) Validate() error {
+	var prevLeafKey []byte
+	var walk func(n *node, lo, hi []byte) error
+	walk = func(n *node, lo, hi []byte) error {
+		if t.nodeBytes(n) > t.pager.PageSize() {
+			return fmt.Errorf("btree %s: node %d over budget (%d > %d)", t.name, n.page.ID, t.nodeBytes(n), t.pager.PageSize())
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return fmt.Errorf("btree %s: node %d keys out of order", t.name, n.page.ID)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("btree %s: node %d key below separator", t.name, n.page.ID)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("btree %s: node %d key above separator", t.name, n.page.ID)
+			}
+		}
+		if n.leaf {
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("btree %s: node %d keys/vals mismatch", t.name, n.page.ID)
+			}
+			for _, k := range n.keys {
+				if prevLeafKey != nil && bytes.Compare(prevLeafKey, k) >= 0 {
+					return fmt.Errorf("btree %s: leaf chain out of order at %q", t.name, k)
+				}
+				prevLeafKey = k
+			}
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("btree %s: node %d kids/keys mismatch", t.name, n.page.ID)
+		}
+		for i, kid := range n.kids {
+			var klo, khi []byte
+			if i > 0 {
+				klo = n.keys[i-1]
+			} else {
+				klo = lo
+			}
+			if i < len(n.keys) {
+				khi = n.keys[i]
+			} else {
+				khi = hi
+			}
+			if err := walk(kid, klo, khi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, nil, nil)
+}
+
+// childIndex returns the index of the child to descend into for key:
+// the first i with key < keys[i], i.e. kids[i] covers keys < keys[i].
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafIndex finds key exactly within a leaf's keys.
+func leafIndex(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(key, keys[mid]) {
+		case 0:
+			return mid, true
+		case -1:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertRecAt(s []*record, i int, v *record) []*record {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,359 @@
+// Package core implements the paper's primary contribution (Sections 4–5):
+// index configurations for a path and the selection algorithm that finds
+// the optimal one. The algorithm consists of three procedures:
+//
+//	Cost_Matrix  — the processing cost of each of the n(n+1)/2 subpaths
+//	               under each index organization (Section 5, Figure 6);
+//	Min_Cost     — the per-subpath minimum over organizations;
+//	Opt_Ind_Con  — branch-and-bound search over the 2^(n-1) recombinations
+//	               of subpaths into a partition of the path.
+//
+// Two reference implementations — exhaustive enumeration and an O(n^2)
+// dynamic program over path prefixes — cross-check the branch-and-bound
+// result and serve as baselines for the complexity experiments.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/model"
+)
+
+// Assignment is one pair <S_i, X_i> of Definition 4.1: the subpath
+// [A..B] (1-based global levels) and the index organization allocated to it.
+type Assignment struct {
+	A, B int
+	Org  cost.Organization
+}
+
+// Configuration is an index configuration IC_m(P): a sequence of
+// assignments whose subpaths concatenate to the whole path.
+type Configuration struct {
+	Assignments []Assignment
+	Cost        float64
+}
+
+// Degree returns m, the number of subpaths in the configuration.
+func (c Configuration) Degree() int { return len(c.Assignments) }
+
+// String renders the configuration in the paper's notation, e.g.
+// {(C1.A1, MX), (C2.A2.A3.A4, NIX)}.
+func (c Configuration) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range c.Assignments {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(S%d-%d, %s)", a.A, a.B, a.Org)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Validate checks that the assignments partition the 1..n levels.
+func (c Configuration) Validate(n int) error {
+	if len(c.Assignments) == 0 {
+		return fmt.Errorf("core: empty configuration")
+	}
+	want := 1
+	for _, a := range c.Assignments {
+		if a.A != want {
+			return fmt.Errorf("core: subpath [%d,%d] does not start at level %d", a.A, a.B, want)
+		}
+		if a.B < a.A {
+			return fmt.Errorf("core: subpath [%d,%d] inverted", a.A, a.B)
+		}
+		want = a.B + 1
+	}
+	if want != n+1 {
+		return fmt.Errorf("core: configuration covers levels up to %d, want %d", want-1, n)
+	}
+	return nil
+}
+
+// MatrixEntry is one cell of the cost matrix: the processing cost of a
+// subpath under one organization, with its decomposition.
+type MatrixEntry struct {
+	SC cost.SubpathCost
+}
+
+// Matrix is the Cost_Matrix of Section 5: for every subpath [a..b]
+// (1-based) the processing cost under each organization.
+type Matrix struct {
+	N    int
+	Orgs []cost.Organization
+	// cells[key(a,b)][orgIdx]
+	cells map[[2]int][]MatrixEntry
+}
+
+// NewMatrixFromStats computes the full cost matrix of a path from its
+// statistics and workload. orgs defaults to the paper's {MX, MIX, NIX}.
+func NewMatrixFromStats(ps *model.PathStats, orgs []cost.Organization) (*Matrix, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	if len(orgs) == 0 {
+		orgs = cost.Organizations
+	}
+	m := &Matrix{N: ps.Len(), Orgs: orgs, cells: make(map[[2]int][]MatrixEntry)}
+	for _, ab := range ps.Path.SubPaths() {
+		a, b := ab[0], ab[1]
+		row := make([]MatrixEntry, len(orgs))
+		for i, org := range orgs {
+			sc, err := cost.SubpathProcessingCost(ps, a, b, org)
+			if err != nil {
+				return nil, fmt.Errorf("core: subpath [%d,%d] %v: %w", a, b, org, err)
+			}
+			row[i] = MatrixEntry{SC: sc}
+		}
+		m.cells[[2]int{a, b}] = row
+	}
+	return m, nil
+}
+
+// NewMatrixFromValues builds a matrix from explicit per-cell costs, as in
+// the hypothetical matrix of Figure 6. values maps [a,b] to a cost per
+// organization, ordered like orgs.
+func NewMatrixFromValues(n int, orgs []cost.Organization, values map[[2]int][]float64) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: path length %d", n)
+	}
+	if len(orgs) == 0 {
+		orgs = cost.Organizations
+	}
+	m := &Matrix{N: n, Orgs: orgs, cells: make(map[[2]int][]MatrixEntry)}
+	for a := 1; a <= n; a++ {
+		for b := a; b <= n; b++ {
+			vs, ok := values[[2]int{a, b}]
+			if !ok {
+				return nil, fmt.Errorf("core: missing costs for subpath [%d,%d]", a, b)
+			}
+			if len(vs) != len(orgs) {
+				return nil, fmt.Errorf("core: subpath [%d,%d] has %d costs for %d organizations", a, b, len(vs), len(orgs))
+			}
+			row := make([]MatrixEntry, len(orgs))
+			for i, v := range vs {
+				if v < 0 || math.IsNaN(v) {
+					return nil, fmt.Errorf("core: invalid cost %g for subpath [%d,%d]", v, a, b)
+				}
+				row[i] = MatrixEntry{SC: cost.SubpathCost{A: a, B: b, Org: orgs[i], Query: v}}
+			}
+			m.cells[[2]int{a, b}] = row
+		}
+	}
+	return m, nil
+}
+
+// Cell returns the cost of subpath [a..b] under org.
+func (m *Matrix) Cell(a, b int, org cost.Organization) (float64, bool) {
+	row, ok := m.cells[[2]int{a, b}]
+	if !ok {
+		return 0, false
+	}
+	for i, o := range m.Orgs {
+		if o == org {
+			return row[i].SC.Total(), true
+		}
+	}
+	return 0, false
+}
+
+// Entry returns the full matrix entry of subpath [a..b] under org.
+func (m *Matrix) Entry(a, b int, org cost.Organization) (MatrixEntry, bool) {
+	row, ok := m.cells[[2]int{a, b}]
+	if !ok {
+		return MatrixEntry{}, false
+	}
+	for i, o := range m.Orgs {
+		if o == org {
+			return row[i], true
+		}
+	}
+	return MatrixEntry{}, false
+}
+
+// MinCost is the Min_Cost procedure: the cheapest organization for subpath
+// [a..b] and its cost (the underlined value in Figure 6). Ties break toward
+// the earlier organization in m.Orgs, i.e. the paper's column order.
+func (m *Matrix) MinCost(a, b int) (cost.Organization, float64) {
+	row := m.cells[[2]int{a, b}]
+	best, bestV := m.Orgs[0], row[0].SC.Total()
+	for i := 1; i < len(m.Orgs); i++ {
+		if v := row[i].SC.Total(); v < bestV {
+			best, bestV = m.Orgs[i], v
+		}
+	}
+	return best, bestV
+}
+
+// Rows returns all subpath bounds in the matrix, in the paper's order
+// (shorter starting positions first).
+func (m *Matrix) Rows() [][2]int {
+	out := make([][2]int, 0, len(m.cells))
+	for k := range m.cells {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// SelectionStats reports the work done by a selection procedure.
+type SelectionStats struct {
+	// Evaluated counts complete configurations whose total cost was
+	// computed (the paper reports 4 of 8 for Example 5.1).
+	Evaluated int
+	// Pruned counts partial configurations cut off by the bound.
+	Pruned int
+	// TotalConfigurations is 2^(n-1), the size of the search space.
+	TotalConfigurations int
+}
+
+// Result couples the optimal configuration with selection statistics.
+type Result struct {
+	Best  Configuration
+	Stats SelectionStats
+}
+
+// OptIndCon is the Opt_Ind_Con procedure of Section 5: branch-and-bound
+// over all recombinations of subpaths. It starts from the degree-1
+// configuration {P, minOrg(P)}, then recursively splits the trailing
+// subpath, abandoning any prefix whose accumulated cost already reaches
+// the best known total.
+func (m *Matrix) OptIndCon() Result {
+	n := m.N
+	res := Result{Stats: SelectionStats{TotalConfigurations: 1 << (n - 1)}}
+
+	// Degree-1 configuration.
+	org1, c1 := m.MinCost(1, n)
+	res.Best = Configuration{Assignments: []Assignment{{A: 1, B: n, Org: org1}}, Cost: c1}
+	res.Stats.Evaluated = 1
+
+	// explore considers configurations whose first subpath is [1..head]
+	// followed by a recombination of [head+1..n]; implemented as recursion
+	// on the remaining suffix with the accumulated prefix cost, mirroring
+	// the paper's successive splits.
+	var explore func(start int, prefix []Assignment, prefixCost float64)
+	explore = func(start int, prefix []Assignment, prefixCost float64) {
+		// Split the suffix [start..n] into a head [start..h] and rest.
+		for h := n - 1; h >= start; h-- {
+			org, c := m.MinCost(start, h)
+			if prefixCost+c >= res.Best.Cost {
+				// Bound: configurations containing this prefix+head cannot
+				// beat the best found so far (the paper prunes on >=).
+				res.Stats.Pruned++
+				continue
+			}
+			head := append(append([]Assignment(nil), prefix...), Assignment{A: start, B: h, Org: org})
+			// Close with the cheapest single index on the remainder.
+			orgR, cR := m.MinCost(h+1, n)
+			total := prefixCost + c + cR
+			res.Stats.Evaluated++
+			if total < res.Best.Cost {
+				res.Best = Configuration{
+					Assignments: append(append([]Assignment(nil), head...), Assignment{A: h + 1, B: n, Org: orgR}),
+					Cost:        total,
+				}
+			}
+			// Recurse: split the remainder further.
+			explore(h+1, head, prefixCost+c)
+		}
+	}
+	explore(1, nil, 0)
+	return res
+}
+
+// Exhaustive enumerates all 2^(n-1) recombinations and returns the true
+// optimum. It is the paper's "compute the processing cost of all possible
+// recombinations" baseline.
+func (m *Matrix) Exhaustive() Result {
+	n := m.N
+	res := Result{Stats: SelectionStats{TotalConfigurations: 1 << (n - 1)}}
+	res.Best.Cost = math.Inf(1)
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		// Bit i set means a split between level i+1 and i+2.
+		var asg []Assignment
+		a := 1
+		var total float64
+		for b := 1; b <= n; b++ {
+			if b == n || mask&(1<<(b-1)) != 0 {
+				org, c := m.MinCost(a, b)
+				asg = append(asg, Assignment{A: a, B: b, Org: org})
+				total += c
+				a = b + 1
+			}
+		}
+		res.Stats.Evaluated++
+		if total < res.Best.Cost {
+			res.Best = Configuration{Assignments: asg, Cost: total}
+		}
+	}
+	return res
+}
+
+// DP computes the optimum with an O(n^2) dynamic program over prefixes:
+// best(b) = min over a<=b of best(a-1) + minCost(a,b). This extension
+// (not in the paper) is provably optimal because subpath costs are
+// independent (Proposition 4.2), and cross-checks Opt_Ind_Con.
+func (m *Matrix) DP() Result {
+	n := m.N
+	res := Result{Stats: SelectionStats{TotalConfigurations: 1 << (n - 1)}}
+	best := make([]float64, n+1)
+	choice := make([]Assignment, n+1)
+	for b := 1; b <= n; b++ {
+		best[b] = math.Inf(1)
+		for a := 1; a <= b; a++ {
+			org, c := m.MinCost(a, b)
+			res.Stats.Evaluated++
+			if v := best[a-1] + c; v < best[b] {
+				best[b] = v
+				choice[b] = Assignment{A: a, B: b, Org: org}
+			}
+		}
+	}
+	var asg []Assignment
+	for b := n; b >= 1; b = choice[b].A - 1 {
+		asg = append([]Assignment{choice[b]}, asg...)
+	}
+	res.Best = Configuration{Assignments: asg, Cost: best[n]}
+	return res
+}
+
+// ConfigurationCost prices an explicit configuration against the matrix
+// (Proposition 4.2: the sum of its subpath costs, each under its assigned
+// organization).
+func (m *Matrix) ConfigurationCost(c Configuration) (float64, error) {
+	if err := c.Validate(m.N); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, a := range c.Assignments {
+		v, ok := m.Cell(a.A, a.B, a.Org)
+		if !ok {
+			return 0, fmt.Errorf("core: no matrix cell for [%d,%d] %v", a.A, a.B, a.Org)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// Select runs the full algorithm on path statistics: Cost_Matrix, Min_Cost
+// and Opt_Ind_Con, returning the optimal configuration, its cost, and the
+// matrix for inspection.
+func Select(ps *model.PathStats, orgs []cost.Organization) (Result, *Matrix, error) {
+	m, err := NewMatrixFromStats(ps, orgs)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	r := m.OptIndCon()
+	return r, m, nil
+}

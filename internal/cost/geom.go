@@ -1,0 +1,93 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// LevelGeom describes one level of a B+-tree for Yao-based traversal
+// estimates: NRec records spread over Pages pages.
+type LevelGeom struct {
+	NRec  float64
+	Pages float64
+}
+
+// Geom is the physical geometry of one index structure: a B+-tree whose
+// leaf level stores NK index records of average length Ln bytes. When a
+// record exceeds the page size, the leaf level consists of the record pages
+// themselves and the level above is a directory with one entry per record
+// (the paper's "index record occupies more than one page" case).
+type Geom struct {
+	NK        float64     // number of index records (distinct key values)
+	Ln        float64     // average record length in bytes
+	PageSize  float64     // p
+	Fanout    float64     // non-leaf fan-out
+	Levels    []LevelGeom // Levels[0] = root ... Levels[h-1] = leaf/record level
+	LeafPages float64     // pages of the leaf/record level
+}
+
+// Height returns h: the number of levels, including the leaf/record level.
+func (g *Geom) Height() int { return len(g.Levels) }
+
+// MultiPage reports whether the average record exceeds one page.
+func (g *Geom) MultiPage() bool { return g.Ln > g.PageSize }
+
+// RecordPages returns ceil(Ln/p), the pages one record occupies (at least 1).
+func (g *Geom) RecordPages() float64 {
+	if g.Ln <= 0 || g.PageSize <= 0 {
+		return 1
+	}
+	return math.Max(1, math.Ceil(g.Ln/g.PageSize))
+}
+
+// NewGeom derives the geometry of an index with nk records of average
+// length ln bytes on pages of pageSize bytes, with non-leaf entries of
+// entryLen bytes (key + pointer). It implements the height computation the
+// paper delegates to its extended report: leaf pages = ceil(nk*ln/p) for
+// records within a page, nk*ceil(ln/p) otherwise; each non-leaf level has
+// one entry per node of the level below, up to a single root.
+func NewGeom(nk, ln, pageSize float64, entryLen float64) (*Geom, error) {
+	if pageSize <= 0 || entryLen <= 0 || entryLen >= pageSize {
+		return nil, fmt.Errorf("cost: invalid geometry parameters page=%g entry=%g", pageSize, entryLen)
+	}
+	if nk < 0 || ln < 0 {
+		return nil, fmt.Errorf("cost: negative geometry inputs nk=%g ln=%g", nk, ln)
+	}
+	g := &Geom{NK: nk, Ln: ln, PageSize: pageSize, Fanout: math.Floor(pageSize / entryLen)}
+	if nk == 0 {
+		// Empty index: a single (empty) root page.
+		g.Levels = []LevelGeom{{NRec: 0, Pages: 1}}
+		g.LeafPages = 1
+		return g, nil
+	}
+	var levels []LevelGeom // built leaf-first, reversed at the end
+	if ln <= pageSize {
+		g.LeafPages = math.Ceil(nk * ln / pageSize)
+		levels = append(levels, LevelGeom{NRec: nk, Pages: g.LeafPages})
+	} else {
+		g.LeafPages = nk * math.Ceil(ln/pageSize)
+		levels = append(levels, LevelGeom{NRec: nk, Pages: g.LeafPages})
+		// Directory level with one entry per (multi-page) record.
+		levels = append(levels, LevelGeom{NRec: nk, Pages: math.Ceil(nk / g.Fanout)})
+	}
+	for levels[len(levels)-1].Pages > 1 {
+		below := levels[len(levels)-1].Pages
+		levels = append(levels, LevelGeom{NRec: below, Pages: math.Ceil(below / g.Fanout)})
+	}
+	// Reverse to root-first order.
+	g.Levels = make([]LevelGeom, len(levels))
+	for i := range levels {
+		g.Levels[len(levels)-1-i] = levels[i]
+	}
+	return g, nil
+}
+
+// mustGeom is NewGeom panicking on error, for internal construction from
+// validated statistics.
+func mustGeom(nk, ln, pageSize, entryLen float64) *Geom {
+	g, err := NewGeom(nk, ln, pageSize, entryLen)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

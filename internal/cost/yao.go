@@ -1,0 +1,60 @@
+// Package cost implements the analytic cost models of Section 3 of the
+// paper: Yao's page-access estimator, the single-record and record-set
+// retrieval/maintenance functions CRL, CML, CRT and CMT, B+-tree geometry,
+// and the per-organization query and maintenance costs for the MX, MIX and
+// NIX index organizations, including the configuration boundary cost of
+// Definition 4.2. All costs are expressed in expected page accesses.
+package cost
+
+import "math"
+
+// Yao estimates the number of page accesses (npa) needed to retrieve t
+// records out of n records uniformly distributed over m pages, using the
+// formula of Yao [Comm. ACM 20(4), 1977]:
+//
+//	npa(t, n, m) = m * (1 - prod_{i=1}^{t} (n - n/m - i + 1) / (n - i + 1))
+//
+// Boundary behaviour: 0 when t or n or m is non-positive; m when t >= n
+// (every page is touched); fractional t (arising from chained expected
+// record counts) interpolates the final factor geometrically.
+func Yao(t, n, m float64) float64 {
+	if t <= 0 || n <= 0 || m <= 0 {
+		return 0
+	}
+	if m > n {
+		m = n // cannot spread n records over more than n non-empty pages
+	}
+	if t >= n {
+		return m
+	}
+	perPage := n / m
+	// prod over i=1..t of (n - perPage - i + 1)/(n - i + 1); fractional t
+	// interpolates the last factor geometrically so that chained estimates
+	// (t fed from a lower level's npa) vary continuously.
+	ti := int(math.Floor(t))
+	frac := t - float64(ti)
+	prod := 1.0
+	for i := 1; i <= ti; i++ {
+		num := n - perPage - float64(i) + 1
+		den := n - float64(i) + 1
+		if num <= 0 || den <= 0 {
+			prod = 0
+			break
+		}
+		prod *= num / den
+		if prod < 1e-300 {
+			prod = 0
+			break
+		}
+	}
+	if frac > 0 && prod > 0 {
+		num := n - perPage - float64(ti+1) + 1
+		den := n - float64(ti+1) + 1
+		if num <= 0 || den <= 0 {
+			prod = 0
+		} else {
+			prod *= math.Pow(num/den, frac)
+		}
+	}
+	return m * (1 - prod)
+}

@@ -1,0 +1,359 @@
+// Package exec executes path queries and updates against the object store:
+// naively, by forward navigation (the expensive evaluation the paper's
+// introduction motivates indexing with), and through an index
+// configuration, by chaining subpath-index lookups — the OIDs produced by
+// the subpath closer to the ending attribute are the key values probed
+// into the preceding subpath's index (Proposition 4.1 made operational).
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// NaiveQuery evaluates the nested predicate A_n = value for objects of
+// targetClass (optionally including subclasses) by scanning the class and
+// navigating forward references, counting object-store page accesses.
+func NaiveQuery(st *oodb.Store, p *schema.Path, value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	return naiveMatch(st, p, targetClass, hierarchy, func(v oodb.Value) bool { return v.Equal(value) })
+}
+
+// naiveMatch scans targetClass and navigates forward, collecting objects
+// whose nested ending value satisfies pred.
+func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bool, pred func(oodb.Value) bool) ([]oodb.OID, error) {
+	level := 0
+	for l := 1; l <= p.Len(); l++ {
+		for _, cn := range p.HierarchyAt(l) {
+			if cn == targetClass {
+				level = l
+			}
+		}
+	}
+	if level == 0 {
+		return nil, fmt.Errorf("exec: class %q not in scope of %s", targetClass, p)
+	}
+	var reaches func(obj *oodb.Object, l int) (bool, error)
+	reaches = func(obj *oodb.Object, l int) (bool, error) {
+		if l == p.Len() {
+			for _, v := range obj.Values(p.Attr(l)) {
+				if pred(v) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		for _, r := range obj.Refs(p.Attr(l)) {
+			child, err := st.Get(r)
+			if err != nil {
+				continue // dangling forward reference after a deletion
+			}
+			ok, err := reaches(child, l+1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	var out []oodb.OID
+	var scanErr error
+	scan := func(obj *oodb.Object) bool {
+		ok, err := reaches(obj, level)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, obj.OID)
+		}
+		return true
+	}
+	if hierarchy {
+		st.ScanHierarchy(targetClass, scan)
+	} else {
+		st.ScanClass(targetClass, scan)
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Configured couples an object store with the index structures of one
+// index configuration and keeps them maintained under inserts and deletes.
+type Configured struct {
+	Store *oodb.Store
+	Path  *schema.Path
+	// Indexes are ordered like the configuration's assignments (head of
+	// the path first).
+	Indexes []index.PathIndex
+	// levelOwner[l-1] is the position in Indexes owning global level l.
+	levelOwner []int
+	config     core.Configuration
+}
+
+// NewConfigured builds the index structures of cfg over the store's
+// current contents and returns the coupled executor. Index pages are sized
+// pageSize. Objects are loaded deepest level first, respecting the
+// forward-reference order NIX maintenance relies on.
+func NewConfigured(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int) (*Configured, error) {
+	if err := cfg.Validate(p.Len()); err != nil {
+		return nil, err
+	}
+	c := &Configured{Store: st, Path: p, config: cfg, levelOwner: make([]int, p.Len())}
+	for i, asg := range cfg.Assignments {
+		var ix index.PathIndex
+		var err error
+		switch asg.Org.String() {
+		case "MX":
+			ix, err = index.NewMultiIndex(p, asg.A, asg.B, pageSize)
+		case "MIX":
+			ix, err = index.NewMultiInheritedIndex(p, asg.A, asg.B, pageSize)
+		case "NIX":
+			ix, err = index.NewNestedInheritedIndex(p, asg.A, asg.B, pageSize)
+		case "PX":
+			ix, err = index.NewPathIndexPX(st, p, asg.A, asg.B, pageSize)
+		default:
+			return nil, fmt.Errorf("exec: organization %v has no working implementation", asg.Org)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.Indexes = append(c.Indexes, ix)
+		for l := asg.A; l <= asg.B; l++ {
+			c.levelOwner[l-1] = i
+		}
+	}
+	// Bulk load, deepest level first.
+	for l := p.Len(); l >= 1; l-- {
+		ix := c.Indexes[c.levelOwner[l-1]]
+		for _, cn := range p.HierarchyAt(l) {
+			for _, oid := range st.OIDsOfClass(cn) {
+				obj, _ := st.Peek(oid)
+				if err := ix.OnInsert(obj); err != nil {
+					return nil, fmt.Errorf("exec: loading %s: %w", cn, err)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Config returns the configuration the executor was built from.
+func (c *Configured) Config() core.Configuration { return c.config }
+
+// levelOf resolves a class to its global path level.
+func (c *Configured) levelOf(class string) (int, error) {
+	for l := 1; l <= c.Path.Len(); l++ {
+		for _, cn := range c.Path.HierarchyAt(l) {
+			if cn == class {
+				return l, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("exec: class %q not in scope of %s", class, c.Path)
+}
+
+// Query evaluates A_n = value for targetClass through the configuration:
+// the last subpath is probed with the value; each earlier subpath is
+// probed with the OIDs produced by its successor.
+func (c *Configured) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	level, err := c.levelOf(targetClass)
+	if err != nil {
+		return nil, err
+	}
+	gi := c.levelOwner[level-1]
+	keys := []oodb.Value{value}
+	for i := len(c.Indexes) - 1; i >= gi; i-- {
+		ix := c.Indexes[i]
+		a, _ := ix.Bounds()
+		var oids []oodb.OID
+		tc, hier := c.Path.Class(a), true
+		if i == gi {
+			tc, hier = targetClass, hierarchy
+		}
+		for _, k := range keys {
+			got, err := ix.Lookup(k, tc, hier)
+			if err != nil {
+				return nil, err
+			}
+			oids = append(oids, got...)
+		}
+		sort.Slice(oids, func(x, y int) bool { return oids[x] < oids[y] })
+		oids = dedup(oids)
+		if i == gi {
+			return oids, nil
+		}
+		keys = keys[:0]
+		for _, o := range oids {
+			keys = append(keys, oodb.RefV(o))
+		}
+		if len(keys) == 0 {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// QueryRange evaluates A_n IN [lo, hi) for targetClass: the last subpath
+// is range-scanned; each earlier subpath is probed with equality on the
+// OIDs produced by its successor.
+func (c *Configured) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	level, err := c.levelOf(targetClass)
+	if err != nil {
+		return nil, err
+	}
+	gi := c.levelOwner[level-1]
+	last := len(c.Indexes) - 1
+	// Range scan on the last subpath.
+	tc, hier := targetClass, hierarchy
+	if last != gi {
+		tc, hier = c.Path.Class(func() int { a, _ := c.Indexes[last].Bounds(); return a }()), true
+	}
+	oids, err := c.Indexes[last].LookupRange(lo, hi, tc, hier)
+	if err != nil {
+		return nil, err
+	}
+	if last == gi {
+		return oids, nil
+	}
+	// Equality-chain through the earlier subpaths.
+	keys := make([]oodb.Value, 0, len(oids))
+	for _, o := range oids {
+		keys = append(keys, oodb.RefV(o))
+	}
+	for i := last - 1; i >= gi; i-- {
+		if len(keys) == 0 {
+			return nil, nil
+		}
+		ix := c.Indexes[i]
+		a, _ := ix.Bounds()
+		tc, hier := c.Path.Class(a), true
+		if i == gi {
+			tc, hier = targetClass, hierarchy
+		}
+		var next []oodb.OID
+		for _, k := range keys {
+			got, err := ix.Lookup(k, tc, hier)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, got...)
+		}
+		sort.Slice(next, func(x, y int) bool { return next[x] < next[y] })
+		next = dedup(next)
+		if i == gi {
+			return next, nil
+		}
+		keys = keys[:0]
+		for _, o := range next {
+			keys = append(keys, oodb.RefV(o))
+		}
+	}
+	return nil, nil
+}
+
+// NaiveQueryRange evaluates A_n IN [lo, hi) by forward navigation.
+func NaiveQueryRange(st *oodb.Store, p *schema.Path, lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	if lo.Kind != hi.Kind {
+		return nil, fmt.Errorf("exec: range bounds of different kinds")
+	}
+	inRange := func(v oodb.Value) bool {
+		if v.Kind != lo.Kind {
+			return false
+		}
+		switch v.Kind {
+		case oodb.IntVal:
+			return v.Int >= lo.Int && v.Int < hi.Int
+		case oodb.StrVal:
+			return v.Str >= lo.Str && v.Str < hi.Str
+		default:
+			return v.Ref >= lo.Ref && v.Ref < hi.Ref
+		}
+	}
+	return naiveMatch(st, p, targetClass, hierarchy, inRange)
+}
+
+// Insert stores a new object and maintains the owning subpath's index.
+func (c *Configured) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
+	level, err := c.levelOf(class)
+	if err != nil {
+		return 0, err
+	}
+	oid, err := c.Store.Insert(class, attrs)
+	if err != nil {
+		return 0, err
+	}
+	obj, _ := c.Store.Peek(oid)
+	if err := c.Indexes[c.levelOwner[level-1]].OnInsert(obj); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// Delete removes an object, maintains the owning subpath's index, and —
+// when the object's class starts a subpath — performs the Definition 4.2
+// boundary maintenance on the preceding subpath's index.
+func (c *Configured) Delete(oid oodb.OID) error {
+	obj, ok := c.Store.Peek(oid)
+	if !ok {
+		return fmt.Errorf("exec: no object %d", oid)
+	}
+	level, err := c.levelOf(obj.Class)
+	if err != nil {
+		return err
+	}
+	gi := c.levelOwner[level-1]
+	if err := c.Indexes[gi].OnDelete(obj); err != nil {
+		return err
+	}
+	if a, _ := c.Indexes[gi].Bounds(); a == level && gi > 0 {
+		if err := c.Indexes[gi-1].BoundaryDelete(oid); err != nil {
+			return err
+		}
+	}
+	return c.Store.Delete(oid)
+}
+
+// IndexStats sums the page-access counters over all subpath indexes.
+func (c *Configured) IndexStats() storage.Stats {
+	var total storage.Stats
+	for _, ix := range c.Indexes {
+		s := ix.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.Allocs += s.Allocs
+		total.Frees += s.Frees
+		total.Hits += s.Hits
+	}
+	return total
+}
+
+// ResetStats zeroes all index counters.
+func (c *Configured) ResetStats() {
+	for _, ix := range c.Indexes {
+		ix.ResetStats()
+	}
+}
+
+func dedup(oids []oodb.OID) []oodb.OID {
+	if len(oids) == 0 {
+		return nil
+	}
+	out := oids[:1]
+	for _, o := range oids[1:] {
+		if o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+// smallStats is a shrunken Figure-7 shape suitable for materialization.
+func smallStats(t testing.TB) *model.PathStats {
+	t.Helper()
+	p := schema.PaperPathOwnsManDivsName()
+	ps := model.NewPathStats(p, model.PaperParams())
+	ps.MustSet(1, model.ClassStats{Class: "Person", N: 400, D: 80, NIN: 1}, model.Load{Alpha: 0.3, Beta: 0.1, Gamma: 0.1})
+	ps.MustSet(2, model.ClassStats{Class: "Vehicle", N: 60, D: 30, NIN: 2}, model.Load{Alpha: 0.3, Gamma: 0.05})
+	ps.MustSet(2, model.ClassStats{Class: "Bus", N: 30, D: 15, NIN: 2}, model.Load{Alpha: 0.05, Beta: 0.05, Gamma: 0.1})
+	ps.MustSet(2, model.ClassStats{Class: "Truck", N: 30, D: 15, NIN: 2}, model.Load{Beta: 0.1})
+	ps.MustSet(3, model.ClassStats{Class: "Company", N: 12, D: 12, NIN: 2}, model.Load{Alpha: 0.1, Beta: 0.1, Gamma: 0.1})
+	ps.MustSet(4, model.ClassStats{Class: "Division", N: 12, D: 12, NIN: 1}, model.Load{Alpha: 0.2, Beta: 0.2, Gamma: 0.1})
+	return ps
+}
+
+func configurations(n int) []core.Configuration {
+	return []core.Configuration{
+		{Assignments: []core.Assignment{{A: 1, B: n, Org: cost.NIX}}},
+		{Assignments: []core.Assignment{{A: 1, B: n, Org: cost.MX}}},
+		{Assignments: []core.Assignment{{A: 1, B: n, Org: cost.MIX}}},
+		{Assignments: []core.Assignment{{A: 1, B: 2, Org: cost.NIX}, {A: 3, B: n, Org: cost.MX}}},
+		{Assignments: []core.Assignment{{A: 1, B: 1, Org: cost.MX}, {A: 2, B: 3, Org: cost.MIX}, {A: 4, B: n, Org: cost.NIX}}},
+		{Assignments: []core.Assignment{{A: 1, B: n, Org: cost.PX}}},
+		{Assignments: []core.Assignment{{A: 1, B: 2, Org: cost.PX}, {A: 3, B: n, Org: cost.NIX}}},
+	}
+}
+
+func TestConfiguredQueryMatchesNaive(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ps.Len()
+	for _, cfg := range configurations(n) {
+		c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		for _, v := range g.EndValues[:6] {
+			for _, tc := range []struct {
+				class string
+				hier  bool
+			}{{"Person", false}, {"Vehicle", true}, {"Bus", false}, {"Company", false}, {"Division", false}} {
+				want, err := NaiveQuery(g.Store, g.Path, v, tc.class, tc.hier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Query(v, tc.class, tc.hier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v Query(%v,%s,h=%v) = %v, want %v", cfg, v, tc.class, tc.hier, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestConfiguredMaintenance(t *testing.T) {
+	ps := smallStats(t)
+	for _, cfg := range configurations(ps.Len()) {
+		g, err := gen.Generate(ps, 1, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Delete a company (starts subpath 2 in the split configurations:
+		// exercises the Definition 4.2 boundary maintenance).
+		victim := g.ByClass["Company"][0]
+		if err := c.Delete(victim); err != nil {
+			t.Fatalf("%v Delete(company): %v", cfg, err)
+		}
+		// Delete a person and a vehicle.
+		if err := c.Delete(g.ByClass["Person"][0]); err != nil {
+			t.Fatalf("%v Delete(person): %v", cfg, err)
+		}
+		if err := c.Delete(g.ByClass["Vehicle"][0]); err != nil {
+			t.Fatalf("%v Delete(vehicle): %v", cfg, err)
+		}
+		// Insert a fresh chain end-to-end.
+		div, err := c.Insert("Division", map[string][]oodb.Value{"name": {oodb.StrV("fresh-div")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := c.Insert("Company", map[string][]oodb.Value{"divs": {oodb.RefV(div)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus, err := c.Insert("Bus", map[string][]oodb.Value{"man": {oodb.RefV(comp)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		per, err := c.Insert("Person", map[string][]oodb.Value{"owns": {oodb.RefV(bus)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All queries still agree with naive evaluation.
+		for _, v := range append(g.EndValues[:4], oodb.StrV("fresh-div")) {
+			for _, cls := range []string{"Person", "Vehicle", "Company"} {
+				want, err := NaiveQuery(g.Store, g.Path, v, cls, cls == "Vehicle")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Query(v, cls, cls == "Vehicle")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v after maintenance: Query(%v,%s) = %v, want %v", cfg, v, cls, got, want)
+				}
+			}
+		}
+		got, err := c.Query(oodb.StrV("fresh-div"), "Person", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, []oodb.OID{per}) {
+			t.Errorf("%v fresh chain query = %v, want [%d]", cfg, got, per)
+		}
+	}
+}
+
+func TestNaiveQueryErrors(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NaiveQuery(g.Store, g.Path, oodb.StrV("x"), "Ghost", false); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestConfiguredErrors(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid configuration.
+	bad := core.Configuration{Assignments: []core.Assignment{{A: 2, B: 4, Org: cost.MX}}}
+	if _, err := NewConfigured(g.Store, g.Path, bad, 1024); err == nil {
+		t.Error("invalid configuration accepted")
+	}
+	// NONE has no working structure.
+	none := core.Configuration{Assignments: []core.Assignment{{A: 1, B: 4, Org: cost.NONE}}}
+	if _, err := NewConfigured(g.Store, g.Path, none, 1024); err == nil {
+		t.Error("NONE configuration accepted by the executor")
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{{A: 1, B: 4, Org: cost.MX}}}
+	c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(oodb.StrV("x"), "Ghost", false); err == nil {
+		t.Error("unknown class accepted by Query")
+	}
+	if err := c.Delete(99999); err == nil {
+		t.Error("deleting unknown OID accepted")
+	}
+	if _, err := c.Insert("Ghost", nil); err == nil {
+		t.Error("inserting unknown class accepted")
+	}
+}
+
+func TestIndexStatsAccumulate(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: cost.NIX}, {A: 3, B: 4, Org: cost.MX},
+	}}
+	c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	if s := c.IndexStats(); s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("stats after reset: %+v", s)
+	}
+	if _, err := c.Query(g.EndValues[0], "Person", false); err != nil {
+		t.Fatal(err)
+	}
+	s := c.IndexStats()
+	if s.Reads == 0 {
+		t.Error("query counted no index reads")
+	}
+	if s.Writes != 0 {
+		t.Errorf("query wrote %d pages", s.Writes)
+	}
+	if c.Config().Degree() != 2 {
+		t.Errorf("Config degree = %d", c.Config().Degree())
+	}
+}
+
+func TestConfiguredQueryBeatNaiveOnPageAccesses(t *testing.T) {
+	// The reason indexes exist: a configured query must touch far fewer
+	// pages than naive navigation on a Person query.
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{{A: 1, B: 4, Org: cost.NIX}}}
+	c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.EndValues[0]
+	g.Store.Pager().ResetStats()
+	if _, err := NaiveQuery(g.Store, g.Path, v, "Person", false); err != nil {
+		t.Fatal(err)
+	}
+	naive := g.Store.Pager().Stats().Accesses()
+	c.ResetStats()
+	if _, err := c.Query(v, "Person", false); err != nil {
+		t.Fatal(err)
+	}
+	indexed := c.IndexStats().Accesses()
+	if indexed >= naive {
+		t.Errorf("indexed query (%d accesses) not cheaper than naive (%d)", indexed, naive)
+	}
+}
+
+func TestConfiguredQueryRangeMatchesNaive(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := [][2]string{
+		{"val-00000", "val-00004"},
+		{"val-00002", "val-00009"},
+		{"val-00000", "val-99999"},
+		{"val-00005", "val-00005"}, // empty
+	}
+	for _, cfg := range configurations(ps.Len()) {
+		c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range ranges {
+			for _, cls := range []string{"Person", "Vehicle", "Company", "Division"} {
+				want, err := NaiveQueryRange(g.Store, g.Path, oodb.StrV(r[0]), oodb.StrV(r[1]), cls, cls == "Vehicle")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.QueryRange(oodb.StrV(r[0]), oodb.StrV(r[1]), cls, cls == "Vehicle")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v QueryRange(%v, %s) = %v, want %v", cfg, r, cls, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveQueryRangeErrors(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NaiveQueryRange(g.Store, g.Path, oodb.StrV("a"), oodb.IntV(1), "Person", false); err == nil {
+		t.Error("mixed-kind range accepted")
+	}
+	if _, err := NaiveQueryRange(g.Store, g.Path, oodb.StrV("a"), oodb.StrV("b"), "Ghost", false); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+// TestChaosMaintenanceProperty drives every configuration through long
+// random operation sequences — inserts of complete chains, deletions of
+// arbitrary live objects — cross-checking indexed results against naive
+// navigation after every batch. This is the strongest end-to-end invariant
+// the working system offers: under any history, a configured database
+// answers exactly like an unindexed one.
+func TestChaosMaintenanceProperty(t *testing.T) {
+	ps := smallStats(t)
+	for _, cfg := range configurations(ps.Len()) {
+		for _, seed := range []int64{101, 202} {
+			g, err := gen.Generate(ps, 0.5, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			live := map[string][]oodb.OID{}
+			for cls, oids := range g.ByClass {
+				live[cls] = append([]oodb.OID(nil), oids...)
+			}
+			classes := []string{"Division", "Company", "Bus", "Truck", "Vehicle", "Person"}
+			for step := 0; step < 60; step++ {
+				switch rng.Intn(3) {
+				case 0: // insert a full fresh chain
+					div, err := c.Insert("Division", map[string][]oodb.Value{
+						"name": {oodb.StrV(fmt.Sprintf("chaos-%d-%d", seed, step))},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					comp, err := c.Insert("Company", map[string][]oodb.Value{"divs": {oodb.RefV(div)}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					veh, err := c.Insert("Bus", map[string][]oodb.Value{"man": {oodb.RefV(comp)}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					per, err := c.Insert("Person", map[string][]oodb.Value{"owns": {oodb.RefV(veh)}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					live["Division"] = append(live["Division"], div)
+					live["Company"] = append(live["Company"], comp)
+					live["Bus"] = append(live["Bus"], veh)
+					live["Person"] = append(live["Person"], per)
+				case 1, 2: // delete a random live object
+					cls := classes[rng.Intn(len(classes))]
+					if len(live[cls]) == 0 {
+						continue
+					}
+					i := rng.Intn(len(live[cls]))
+					victim := live[cls][i]
+					if _, ok := g.Store.Peek(victim); !ok {
+						live[cls] = append(live[cls][:i], live[cls][i+1:]...)
+						continue
+					}
+					if err := c.Delete(victim); err != nil {
+						t.Fatalf("cfg %v seed %d step %d: Delete(%s %d): %v", cfg, seed, step, cls, victim, err)
+					}
+					live[cls] = append(live[cls][:i], live[cls][i+1:]...)
+				}
+				if step%15 != 14 {
+					continue
+				}
+				// Cross-check a sample of values and classes.
+				for _, v := range g.EndValues[:3] {
+					for _, cls := range []string{"Person", "Vehicle", "Company"} {
+						want, err := NaiveQuery(g.Store, g.Path, v, cls, cls == "Vehicle")
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := c.Query(v, cls, cls == "Vehicle")
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("cfg %v seed %d step %d: Query(%v,%s) = %v, want %v",
+								cfg, seed, step, v, cls, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelQueries documents and guards the read-path concurrency
+// contract: queries through a configured database are safe to run from
+// multiple goroutines (page-access counters are mutex-protected; index and
+// store structures are not mutated by lookups).
+func TestParallelQueries(t *testing.T) {
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: cost.NIX}, {A: 3, B: 4, Org: cost.MX},
+	}}
+	c, err := NewConfigured(g.Store, g.Path, cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference results, computed serially.
+	want := make(map[string][]oodb.OID)
+	for _, v := range g.EndValues {
+		r, err := c.Query(v, "Person", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[v.String()] = r
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := g.EndValues[(worker+i)%len(g.EndValues)]
+				got, err := c.Query(v, "Person", false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[v.String()]) {
+					errs <- fmt.Errorf("worker %d: divergent result for %v", worker, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

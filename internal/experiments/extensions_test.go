@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestExtendedReport(t *testing.T) {
+	r, err := RunExtended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extended search space can only improve or preserve the optimum.
+	if r.Result.Best.Cost > r.Baseline.Best.Cost+1e-9 {
+		t.Errorf("extended optimum %.2f worse than baseline %.2f", r.Result.Best.Cost, r.Baseline.Best.Cost)
+	}
+	if err := r.Result.Best.Validate(4); err != nil {
+		t.Error(err)
+	}
+	// NX on a long subpath must be dominated (its inner-class queries scan).
+	nxWhole, ok := r.Matrix.Cell(1, 4, cost.NX)
+	if !ok {
+		t.Fatal("NX column missing")
+	}
+	nixWhole, _ := r.Matrix.Cell(1, 4, cost.NIX)
+	if nxWhole <= nixWhole {
+		t.Errorf("whole-path NX %.2f not dominated by NIX %.2f", nxWhole, nixWhole)
+	}
+	// On length-1 no-subclass subpaths PX and NX coincide with the paper's
+	// organizations (all structures degenerate to a value→OID-set tree).
+	for _, org := range []cost.Organization{cost.PX, cost.NX} {
+		v, _ := r.Matrix.Cell(4, 4, org)
+		mx, _ := r.Matrix.Cell(4, 4, cost.MX)
+		if diff := v - mx; diff > 0.5 || diff < -0.5 {
+			t.Errorf("%v length-1 cell %.2f far from MX %.2f", org, v, mx)
+		}
+	}
+	if !strings.Contains(r.Render(), "PX") {
+		t.Error("render broken")
+	}
+}
+
+func TestSelectivitySweep(t *testing.T) {
+	r, err := RunSelectivitySweep([]float64{0, 0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Costs grow with selectivity.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Best.Cost < r.Points[i-1].Best.Cost-1e-9 {
+			t.Errorf("cost decreased with selectivity: %.2f -> %.2f",
+				r.Points[i-1].Best.Cost, r.Points[i].Best.Cost)
+		}
+	}
+	for _, p := range r.Points {
+		if err := p.Best.Validate(4); err != nil {
+			t.Errorf("sel=%.3f: %v", p.Selectivity, err)
+		}
+		if p.Best.Cost > p.WholeNIX+1e-9 {
+			t.Errorf("sel=%.3f: optimum above whole-path NIX", p.Selectivity)
+		}
+	}
+	if _, err := RunSelectivitySweep([]float64{2}); err == nil {
+		t.Error("invalid selectivity accepted")
+	}
+	if !strings.Contains(r.Render(), "selectivity") {
+		t.Error("render broken")
+	}
+}
+
+func TestBufferAblation(t *testing.T) {
+	r, err := RunBufferAblation(500, 2000, []int{0, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Capacity 0: every access is a read (the paper's convention).
+	if r.Points[0].Hits != 0 || r.Points[0].HitRate != 0 {
+		t.Errorf("capacity 0 produced hits: %+v", r.Points[0])
+	}
+	// Hit rate grows with capacity; reads shrink.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].HitRate < r.Points[i-1].HitRate {
+			t.Errorf("hit rate not monotone: %+v", r.Points)
+		}
+		if r.Points[i].Reads > r.Points[i-1].Reads {
+			t.Errorf("reads not shrinking: %+v", r.Points)
+		}
+	}
+	if r.Points[2].HitRate < 0.5 {
+		t.Errorf("64-page buffer hit rate %.2f, want > 0.5 on skewed workload", r.Points[2].HitRate)
+	}
+	if _, err := RunBufferAblation(10, 10, []int{-1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if !strings.Contains(r.Render(), "hit rate") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/model"
+)
+
+// Fig6Report reproduces the Section 5 walkthrough over the (reconstructed)
+// hypothetical matrix of Figure 6.
+type Fig6Report struct {
+	Matrix *core.Matrix
+	Result core.Result
+}
+
+// RunFig6 executes experiment F6.
+func RunFig6() Fig6Report {
+	m := core.Figure6Matrix()
+	return Fig6Report{Matrix: m, Result: m.OptIndCon()}
+}
+
+// Render returns the report text: the matrix with underlined minima
+// (marked *), the optimal configuration, and the search statistics.
+func (r Fig6Report) Render() string {
+	var b strings.Builder
+	b.WriteString(renderMatrix("Figure 6 — hypothetical cost matrix for P_ex = C1.A1.A2.A3.A4", r.Matrix, nil))
+	fmt.Fprintf(&b, "\nOptimal configuration: %s with processing cost %.0f\n", r.Result.Best, r.Result.Best.Cost)
+	fmt.Fprintf(&b, "Paper: {(C1.A1, MX), (C2.A2.A3.A4, NIX)} with processing cost 8\n")
+	fmt.Fprintf(&b, "Configurations evaluated: %d of %d (pruned prefixes: %d)\n",
+		r.Result.Stats.Evaluated, r.Result.Stats.TotalConfigurations, r.Result.Stats.Pruned)
+	return b.String()
+}
+
+// Fig8Report reproduces Example 5.1: the cost matrix computed from the
+// Figure 7 statistics and the optimal configuration.
+type Fig8Report struct {
+	Stats  *model.PathStats
+	Matrix *core.Matrix
+	Result core.Result
+	// WholePathNIX is the cost of indexing the whole path with one NIX
+	// (the alternative the paper quotes as 42.84).
+	WholePathNIX float64
+	// ImprovementFactor is WholePathNIX / optimal (the paper reports 2.7).
+	ImprovementFactor float64
+	// PaperOptimalCost and PaperWholePathNIX are the published values.
+	PaperOptimalCost, PaperWholePathNIX float64
+}
+
+// RunFig8 executes experiment F7/F8 with the calibrated paper parameters.
+func RunFig8() (Fig8Report, error) {
+	ps := model.Figure7Stats()
+	m, err := core.NewMatrixFromStats(ps, nil)
+	if err != nil {
+		return Fig8Report{}, err
+	}
+	r := m.OptIndCon()
+	nixWhole, _ := m.Cell(1, ps.Len(), cost.NIX)
+	return Fig8Report{
+		Stats:             ps,
+		Matrix:            m,
+		Result:            r,
+		WholePathNIX:      nixWhole,
+		ImprovementFactor: nixWhole / r.Best.Cost,
+		PaperOptimalCost:  16.03,
+		PaperWholePathNIX: 42.84,
+	}, nil
+}
+
+// SubpathName renders a subpath of the Example 5.1 path in the paper's
+// notation.
+func SubpathName(ps *model.PathStats, a, b int) string {
+	sp, err := ps.Path.SubPath(a, b)
+	if err != nil {
+		return fmt.Sprintf("S%d-%d", a, b)
+	}
+	return sp.String()
+}
+
+// Render returns the report text.
+func (r Fig8Report) Render() string {
+	var b strings.Builder
+	b.WriteString(renderMatrix("Figure 8 — cost matrix for Per.owns.man.divs.name (Figure 7 statistics)", r.Matrix, r.Stats))
+	fmt.Fprintf(&b, "\nOptimal configuration: %s\n", describeConfig(r.Stats, r.Result.Best))
+	fmt.Fprintf(&b, "  processing cost            : %.2f   (paper: %.2f)\n", r.Result.Best.Cost, r.PaperOptimalCost)
+	fmt.Fprintf(&b, "  whole-path NIX             : %.2f   (paper: %.2f)\n", r.WholePathNIX, r.PaperWholePathNIX)
+	fmt.Fprintf(&b, "  improvement factor         : %.2f   (paper: %.2f)\n", r.ImprovementFactor, r.PaperWholePathNIX/r.PaperOptimalCost)
+	fmt.Fprintf(&b, "  configurations evaluated   : %d of %d (paper: 4 of 8)\n",
+		r.Result.Stats.Evaluated, r.Result.Stats.TotalConfigurations)
+	return b.String()
+}
+
+// describeConfig renders a configuration with subpath names.
+func describeConfig(ps *model.PathStats, c core.Configuration) string {
+	parts := make([]string, 0, len(c.Assignments))
+	for _, a := range c.Assignments {
+		parts = append(parts, fmt.Sprintf("(%s, %s)", SubpathName(ps, a.A, a.B), a.Org))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// renderMatrix renders a cost matrix with the per-row minimum starred.
+func renderMatrix(title string, m *core.Matrix, ps *model.PathStats) string {
+	header := []string{"subpath"}
+	for _, org := range m.Orgs {
+		header = append(header, org.String())
+	}
+	t := NewTable(title, header...)
+	for _, ab := range m.Rows() {
+		name := fmt.Sprintf("S%d-%d", ab[0], ab[1])
+		if ps != nil {
+			name = SubpathName(ps, ab[0], ab[1])
+		}
+		row := []interface{}{name}
+		_, minV := m.MinCost(ab[0], ab[1])
+		for _, org := range m.Orgs {
+			v, _ := m.Cell(ab[0], ab[1], org)
+			cell := fmt.Sprintf("%.2f", v)
+			if v == minV {
+				cell += " *"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+// WorkloadPoint is one mix of the workload sweep: lambda is the query
+// share (1 = pure queries, 0 = pure updates).
+type WorkloadPoint struct {
+	Lambda float64
+	Best   core.Configuration
+	// WholeNIX and WholeMX are the whole-path single-index alternatives.
+	WholeNIX, WholeMX float64
+}
+
+// WorkloadReport is experiment W1: how the optimal configuration shifts as
+// the workload moves from query-dominated to update-dominated on the
+// Figure 7 statistics.
+type WorkloadReport struct {
+	Points []WorkloadPoint
+}
+
+// RunWorkloadSweep executes experiment W1 with the given mixes.
+func RunWorkloadSweep(lambdas []float64) (WorkloadReport, error) {
+	var rep WorkloadReport
+	for _, lam := range lambdas {
+		ps := model.Figure7Stats()
+		for l := 1; l <= ps.Len(); l++ {
+			ls := ps.Level(l)
+			for x := range ls.Loads {
+				base := ls.Loads[x]
+				ls.Loads[x] = model.Load{
+					Alpha: base.Alpha * lam,
+					Beta:  base.Beta * (1 - lam),
+					Gamma: base.Gamma * (1 - lam),
+				}
+			}
+		}
+		m, err := core.NewMatrixFromStats(ps, nil)
+		if err != nil {
+			return rep, err
+		}
+		r := m.OptIndCon()
+		nix, _ := m.Cell(1, ps.Len(), cost.NIX)
+		mx, _ := m.Cell(1, ps.Len(), cost.MX)
+		rep.Points = append(rep.Points, WorkloadPoint{Lambda: lam, Best: r.Best, WholeNIX: nix, WholeMX: mx})
+	}
+	return rep, nil
+}
+
+// Render returns the report text.
+func (r WorkloadReport) Render() string {
+	t := NewTable("Workload sweep — optimal configuration vs query share λ (Figure 7 statistics)",
+		"λ (query share)", "optimal configuration", "cost", "whole NIX", "whole MX")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.2f", p.Lambda), p.Best.String(), p.Best.Cost, p.WholeNIX, p.WholeMX)
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	b.WriteString("\nNIX-dominated configurations win query-heavy mixes; update-heavy mixes favour\n")
+	b.WriteString("finer splits with cheap-to-maintain component indexes.\n")
+	return b.String()
+}
+
+// ShapePoint is one path length of the shape sweep.
+type ShapePoint struct {
+	N      int
+	Best   core.Configuration
+	BnB    core.SelectionStats
+	Orgs   string  // organizations of the optimal configuration
+	Whole  float64 // best whole-path single index
+	Degree int
+}
+
+// ShapeReport is experiment S1: selection behaviour over synthetic chain
+// paths of growing length.
+type ShapeReport struct {
+	Points []ShapePoint
+}
+
+// ChainStats builds a synthetic chain path C1 -> ... -> Cn with uniform
+// statistics: every class has nObj objects, d distinct values and the
+// given fan-out; every class carries the same balanced load.
+func ChainStats(n int, nObj, d, fan float64, load model.Load, params model.Params) (*model.PathStats, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: chain length %d", n)
+	}
+	s := schema.New()
+	names := make([]string, n+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("C%d", i+1)
+	}
+	for i := 0; i <= n; i++ {
+		attrs := []schema.Attribute{{Name: "v", Kind: schema.Atomic, Domain: "string"}}
+		if i < n {
+			attrs = append(attrs, schema.Attribute{Name: "next", Kind: schema.Ref, Domain: names[i+1], MultiValued: fan > 1})
+		}
+		s.MustAddClass(&schema.Class{Name: names[i], Attrs: attrs})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	attrs := make([]string, 0, n)
+	for i := 0; i < n-1; i++ {
+		attrs = append(attrs, "next")
+	}
+	attrs = append(attrs, "v")
+	p, err := schema.NewPath(s, names[0], attrs...)
+	if err != nil {
+		return nil, err
+	}
+	ps := model.NewPathStats(p, params)
+	for l := 1; l <= n; l++ {
+		nin := fan
+		if l == n {
+			nin = 1
+		}
+		ps.MustSet(l, model.ClassStats{Class: names[l-1], N: nObj, D: d, NIN: nin}, load)
+	}
+	return ps, nil
+}
+
+// RunShapeSweep executes experiment S1 for lengths 2..maxN.
+func RunShapeSweep(maxN int) (ShapeReport, error) {
+	var rep ShapeReport
+	for n := 2; n <= maxN; n++ {
+		ps, err := ChainStats(n, 20000, 2000, 2, model.Load{Alpha: 0.3, Beta: 0.1, Gamma: 0.1}, model.PaperParams())
+		if err != nil {
+			return rep, err
+		}
+		m, err := core.NewMatrixFromStats(ps, nil)
+		if err != nil {
+			return rep, err
+		}
+		r := m.OptIndCon()
+		_, whole := m.MinCost(1, n)
+		var orgs []string
+		for _, a := range r.Best.Assignments {
+			orgs = append(orgs, a.Org.String())
+		}
+		rep.Points = append(rep.Points, ShapePoint{
+			N: n, Best: r.Best, BnB: r.Stats,
+			Orgs: strings.Join(orgs, "+"), Whole: whole, Degree: r.Best.Degree(),
+		})
+	}
+	return rep, nil
+}
+
+// Render returns the report text.
+func (r ShapeReport) Render() string {
+	t := NewTable("Shape sweep — selection on uniform chain paths of growing length",
+		"n", "optimal cost", "degree", "organizations", "best whole-path", "BnB evaluated", "2^(n-1)")
+	for _, p := range r.Points {
+		t.AddRow(p.N, p.Best.Cost, p.Degree, p.Orgs, p.Whole, p.BnB.Evaluated, p.BnB.TotalConfigurations)
+	}
+	return t.Render()
+}

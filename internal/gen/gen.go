@@ -1,0 +1,266 @@
+// Package gen materializes synthetic databases matching a PathStats
+// description: per-class cardinalities, distinct value counts and
+// attribute fan-outs, with forward references only (children created
+// before parents). The generated stores drive the cost-model validation
+// experiment (V1) and the runnable examples.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+// Generated bundles a materialized store with handles into its contents.
+type Generated struct {
+	Store *oodb.Store
+	Path  *schema.Path
+	// EndValues are the distinct ending-attribute values in use.
+	EndValues []oodb.Value
+	// ByClass holds the OIDs per class name.
+	ByClass map[string][]oodb.OID
+}
+
+// Generate builds a database whose shape follows ps scaled by scale
+// (cardinalities multiplied and rounded up to at least 1 object per class
+// with positive N). The page size comes from ps.Params.
+func Generate(ps *model.PathStats, scale float64, seed int64) (*Generated, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: scale must be positive, got %g", scale)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st, err := oodb.NewStore(ps.Path.Schema(), ps.Params.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generated{Store: st, Path: ps.Path, ByClass: make(map[string][]oodb.OID)}
+	n := ps.Len()
+
+	// Ending-value pool: the scaled hierarchy-wide distinct count.
+	dEnd := int(math.Ceil(ps.Level(n).DMax() * scale))
+	if dEnd < 1 {
+		dEnd = 1
+	}
+	for i := 0; i < dEnd; i++ {
+		g.EndValues = append(g.EndValues, oodb.StrV(fmt.Sprintf("val-%05d", i)))
+	}
+
+	// Build deepest level first so references always point backward.
+	for l := n; l >= 1; l-- {
+		ls := ps.Level(l)
+		attr := ps.Path.Attr(l)
+		// Target pool for reference levels: all objects of level l+1.
+		var pool []oodb.OID
+		if l < n {
+			for _, cn := range ps.Path.HierarchyAt(l + 1) {
+				pool = append(pool, g.ByClass[cn]...)
+			}
+			if len(pool) == 0 {
+				return nil, fmt.Errorf("gen: level %d has no reference targets", l)
+			}
+		}
+		for _, cs := range ls.Classes {
+			count := int(math.Ceil(cs.N * scale))
+			if cs.N > 0 && count < 1 {
+				count = 1
+			}
+			// Distinct-value budget for this class.
+			dc := int(math.Ceil(cs.D * scale))
+			if dc < 1 {
+				dc = 1
+			}
+			// Restrict targets to a fixed random subset of size dc so the
+			// class's distinct-value count approximates d_{l,x}.
+			var targets []oodb.OID
+			var values []oodb.Value
+			if l < n {
+				if dc > len(pool) {
+					dc = len(pool)
+				}
+				perm := rng.Perm(len(pool))[:dc]
+				for _, pi := range perm {
+					targets = append(targets, pool[pi])
+				}
+			} else {
+				if dc > len(g.EndValues) {
+					dc = len(g.EndValues)
+				}
+				perm := rng.Perm(len(g.EndValues))[:dc]
+				for _, pi := range perm {
+					values = append(values, g.EndValues[pi])
+				}
+			}
+			for i := 0; i < count; i++ {
+				k := fanout(cs.NIN, rng)
+				attrs := make(map[string][]oodb.Value)
+				var vals []oodb.Value
+				seen := map[string]bool{}
+				for len(vals) < k {
+					var v oodb.Value
+					if l < n {
+						v = oodb.RefV(targets[rng.Intn(len(targets))])
+					} else {
+						v = values[rng.Intn(len(values))]
+					}
+					key := v.String()
+					if seen[key] {
+						if len(seen) >= dcCap(l, len(targets), len(values)) {
+							break
+						}
+						continue
+					}
+					seen[key] = true
+					vals = append(vals, v)
+				}
+				if !ps.Path.MultiValuedAt(l) && len(vals) > 1 {
+					vals = vals[:1]
+				}
+				attrs[attr] = vals
+				oid, err := st.Insert(cs.Class, attrs)
+				if err != nil {
+					return nil, fmt.Errorf("gen: inserting %s: %w", cs.Class, err)
+				}
+				g.ByClass[cs.Class] = append(g.ByClass[cs.Class], oid)
+			}
+		}
+	}
+	return g, nil
+}
+
+// dcCap bounds the retry loop when the distinct pool is smaller than the
+// requested fan-out.
+func dcCap(l, nTargets, nValues int) int {
+	if nTargets > 0 {
+		return nTargets
+	}
+	return nValues
+}
+
+// fanout draws an integer fan-out with expectation nin: the floor plus a
+// Bernoulli remainder, at least 1.
+func fanout(nin float64, rng *rand.Rand) int {
+	if nin <= 1 {
+		return 1
+	}
+	k := int(nin)
+	if rng.Float64() < nin-float64(k) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// PaperInstances builds the Figure 2 objects of the paper: persons Rossi,
+// Sonia and others owning vehicles made by Fiat, Renault and Daf, with the
+// divisions of Figure 2's companies. Returns the store and the OIDs by
+// well-known name.
+func PaperInstances() (*oodb.Store, map[string]oodb.OID, error) {
+	st, err := oodb.NewStore(schema.PaperSchema(), 1024)
+	if err != nil {
+		return nil, nil, err
+	}
+	oids := make(map[string]oodb.OID)
+	ins := func(name, class string, attrs map[string][]oodb.Value) error {
+		oid, err := st.Insert(class, attrs)
+		if err != nil {
+			return fmt.Errorf("gen: %s: %w", name, err)
+		}
+		oids[name] = oid
+		return nil
+	}
+	// Divisions.
+	for _, d := range []string{"division-n", "division-k", "division-y", "division-t", "division-a", "division-z"} {
+		if err := ins(d, "Division", map[string][]oodb.Value{
+			"name": {oodb.StrV(d)}, "movings": {oodb.IntV(1)},
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Companies (Figure 2: Fiat and Renault in Torino/Paris, Daf in Eindhoven).
+	if err := ins("company-i", "Company", map[string][]oodb.Value{
+		"name": {oodb.StrV("Renault")}, "location": {oodb.StrV("Paris")},
+		"divs": {oodb.RefV(oids["division-n"]), oodb.RefV(oids["division-k"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("company-j", "Company", map[string][]oodb.Value{
+		"name": {oodb.StrV("Fiat")}, "location": {oodb.StrV("Torino")},
+		"divs": {oodb.RefV(oids["division-y"]), oodb.RefV(oids["division-t"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("company-k", "Company", map[string][]oodb.Value{
+		"name": {oodb.StrV("Daf")}, "location": {oodb.StrV("Eindhoven")},
+		"divs": {oodb.RefV(oids["division-a"]), oodb.RefV(oids["division-z"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	// Vehicles.
+	if err := ins("vehicle-i", "Vehicle", map[string][]oodb.Value{
+		"color": {oodb.StrV("White")}, "man": {oodb.RefV(oids["company-i"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("vehicle-j", "Vehicle", map[string][]oodb.Value{
+		"color": {oodb.StrV("Red")}, "man": {oodb.RefV(oids["company-i"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("vehicle-k", "Vehicle", map[string][]oodb.Value{
+		"color": {oodb.StrV("Red")}, "man": {oodb.RefV(oids["company-j"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("bus-i", "Bus", map[string][]oodb.Value{
+		"color": {oodb.StrV("White")}, "man": {oodb.RefV(oids["company-j"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("bus-j", "Bus", map[string][]oodb.Value{
+		"color": {oodb.StrV("Red")}, "man": {oodb.RefV(oids["company-k"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("truck-i", "Truck", map[string][]oodb.Value{
+		"color": {oodb.StrV("Red")}, "man": {oodb.RefV(oids["company-j"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	// Persons (Figure 2: Rossi owns vehicle[i] and vehicle[j]; Sonia owns
+	// vehicle[j] and vehicle[k]; p owns bus[i]; q owns vehicle[k]; r owns
+	// truck[i]).
+	if err := ins("person-o", "Person", map[string][]oodb.Value{
+		"name": {oodb.StrV("Rossi")}, "residence": {oodb.StrV("Enschede")},
+		"owns": {oodb.RefV(oids["vehicle-i"]), oodb.RefV(oids["vehicle-j"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("person-q", "Person", map[string][]oodb.Value{
+		"name": {oodb.StrV("Sonia")}, "residence": {oodb.StrV("Genova")},
+		"owns": {oodb.RefV(oids["vehicle-j"]), oodb.RefV(oids["vehicle-k"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("person-p", "Person", map[string][]oodb.Value{
+		"name": {oodb.StrV("Johnson")}, "residence": {oodb.StrV("DenHaag")},
+		"owns": {oodb.RefV(oids["bus-i"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := ins("person-r", "Person", map[string][]oodb.Value{
+		"name": {oodb.StrV("Smith")}, "residence": {oodb.StrV("Amsterdam")},
+		"owns": {oodb.RefV(oids["truck-i"])},
+	}); err != nil {
+		return nil, nil, err
+	}
+	return st, oids, nil
+}

@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ps := model.Figure7Stats()
+	g, err := Generate(ps, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scaled cardinalities: Person 2000, Vehicle 100, Bus 50, Truck 50,
+	// Company 10, Division 10.
+	wants := map[string]int{
+		"Person": 2000, "Vehicle": 100, "Bus": 50, "Truck": 50,
+		"Company": 10, "Division": 10,
+	}
+	for cls, want := range wants {
+		if got := g.Store.ClassCount(cls); got != want {
+			t.Errorf("%s count = %d, want %d", cls, got, want)
+		}
+		if got := len(g.ByClass[cls]); got != want {
+			t.Errorf("%s ByClass = %d, want %d", cls, got, want)
+		}
+	}
+	if len(g.EndValues) != 10 { // DMax level 4 = 1000 * 0.01
+		t.Errorf("EndValues = %d, want 10", len(g.EndValues))
+	}
+}
+
+func TestGenerateForwardRefsOnly(t *testing.T) {
+	ps := model.Figure7Stats()
+	g, err := Generate(ps, 0.005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reference must point at an existing object (the store enforces
+	// this at insert time; re-verify via navigation).
+	bad := 0
+	for _, cls := range []string{"Person", "Vehicle", "Bus", "Truck", "Company"} {
+		for _, oid := range g.ByClass[cls] {
+			obj, _ := g.Store.Peek(oid)
+			for _, vals := range obj.Attrs {
+				for _, v := range vals {
+					if v.Kind == oodb.RefVal {
+						if _, ok := g.Store.Peek(v.Ref); !ok {
+							bad++
+						}
+					}
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d dangling references", bad)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ps := model.Figure7Stats()
+	g1, err := Generate(ps, 0.003, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(ps, 0.003, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Store.Len() != g2.Store.Len() {
+		t.Errorf("non-deterministic sizes: %d vs %d", g1.Store.Len(), g2.Store.Len())
+	}
+	// Same seed, same structural choice for a sample person.
+	p1 := g1.ByClass["Person"][0]
+	p2 := g2.ByClass["Person"][0]
+	o1, _ := g1.Store.Peek(p1)
+	o2, _ := g2.Store.Peek(p2)
+	if len(o1.Refs("owns")) != len(o2.Refs("owns")) {
+		t.Error("same-seed generation differs")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	ps := model.Figure7Stats()
+	if _, err := Generate(ps, 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Generate(ps, -1, 1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	ps.Levels[0].Classes[0].N = -1
+	if _, err := Generate(ps, 1, 1); err == nil {
+		t.Error("invalid stats accepted")
+	}
+}
+
+func TestGenerateMultiValuedFanout(t *testing.T) {
+	ps := model.Figure7Stats()
+	g, err := Generate(ps, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Companies have nin = 4 on divs (multi-valued): average fan-out
+	// should exceed 2 given 10 division targets.
+	var total int
+	for _, oid := range g.ByClass["Company"] {
+		obj, _ := g.Store.Peek(oid)
+		total += len(obj.Refs("divs"))
+	}
+	avg := float64(total) / float64(len(g.ByClass["Company"]))
+	if avg < 2 {
+		t.Errorf("Company divs fan-out = %.2f, want > 2", avg)
+	}
+	// Vehicles have man single-valued: exactly one ref.
+	for _, oid := range g.ByClass["Vehicle"] {
+		obj, _ := g.Store.Peek(oid)
+		if len(obj.Refs("man")) != 1 {
+			t.Fatalf("Vehicle with %d man refs", len(obj.Refs("man")))
+		}
+	}
+}
+
+func TestPaperInstances(t *testing.T) {
+	st, oids, err := PaperInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2 contents: 4 persons, 3 vehicles, 2 buses, 1 truck, 3
+	// companies, 6 divisions.
+	counts := map[string]int{
+		"Person": 4, "Vehicle": 3, "Bus": 2, "Truck": 1, "Company": 3, "Division": 6,
+	}
+	for cls, want := range counts {
+		if got := st.ClassCount(cls); got != want {
+			t.Errorf("%s = %d, want %d", cls, got, want)
+		}
+	}
+	// Rossi owns vehicle-i and vehicle-j, both by Renault (company-i).
+	rossi, _ := st.Peek(oids["person-o"])
+	if got := rossi.Values("name")[0].Str; got != "Rossi" {
+		t.Errorf("person-o name = %q", got)
+	}
+	owns := rossi.Refs("owns")
+	if len(owns) != 2 || owns[0] != oids["vehicle-i"] || owns[1] != oids["vehicle-j"] {
+		t.Errorf("Rossi owns %v", owns)
+	}
+	// Fiat manufactures vehicle-k, bus-i, truck-i.
+	for _, v := range []string{"vehicle-k", "bus-i", "truck-i"} {
+		obj, _ := st.Peek(oids[v])
+		if got := obj.Refs("man")[0]; got != oids["company-j"] {
+			t.Errorf("%s man = %d, want Fiat", v, got)
+		}
+	}
+}
+
+func TestGenerateTinyScaleStillPopulates(t *testing.T) {
+	// At extreme down-scaling every non-empty class keeps at least one
+	// object, so paths remain navigable.
+	ps := model.Figure7Stats()
+	g, err := Generate(ps, 0.0001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []string{"Person", "Vehicle", "Company", "Division"} {
+		if g.Store.ClassCount(cls) < 1 {
+			t.Errorf("%s empty at tiny scale", cls)
+		}
+	}
+	if len(g.EndValues) < 1 {
+		t.Error("no end values")
+	}
+}
+
+func TestGenerateFanoutExceedsDistinctPool(t *testing.T) {
+	// When an object's fan-out exceeds the class's distinct-target budget,
+	// generation must terminate (the retry loop caps at the pool size).
+	p := schema.MustNewPath(schema.PaperSchema(), "Person", "owns", "man", "name")
+	ps := model.NewPathStats(p, model.PaperParams())
+	ps.MustSet(1, model.ClassStats{Class: "Person", N: 50, D: 2, NIN: 10}, model.Load{})
+	ps.MustSet(2, model.ClassStats{Class: "Vehicle", N: 4, D: 2, NIN: 1}, model.Load{})
+	ps.MustSet(2, model.ClassStats{Class: "Bus", N: 0, D: 0, NIN: 1}, model.Load{})
+	ps.MustSet(2, model.ClassStats{Class: "Truck", N: 0, D: 0, NIN: 1}, model.Load{})
+	ps.MustSet(3, model.ClassStats{Class: "Company", N: 2, D: 2, NIN: 1}, model.Load{})
+	g, err := Generate(ps, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persons exist and own at most the distinct budget of vehicles.
+	for _, oid := range g.ByClass["Person"] {
+		obj, _ := g.Store.Peek(oid)
+		if n := len(obj.Refs("owns")); n > 2 {
+			t.Errorf("person owns %d vehicles, budget was 2", n)
+		}
+	}
+}
+
+func TestPaperInstancesColorIndexExample(t *testing.T) {
+	// Section 2.2's SIX example: color White = {Vehicle[i]}, Red =
+	// {Vehicle[j], Vehicle[k]} among Vehicle-class objects.
+	st, oids, err := PaperInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	white, red := 0, 0
+	st.ScanClass("Vehicle", func(o *oodb.Object) bool {
+		switch o.Values("color")[0].Str {
+		case "White":
+			white++
+		case "Red":
+			red++
+		}
+		return true
+	})
+	if white != 1 || red != 2 {
+		t.Errorf("Vehicle colors: white=%d red=%d, want 1/2", white, red)
+	}
+	// bus-j made by Daf (company-k).
+	bj, _ := st.Peek(oids["bus-j"])
+	if bj.Refs("man")[0] != oids["company-k"] {
+		t.Error("bus-j manufacturer wrong")
+	}
+}

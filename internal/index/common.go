@@ -1,0 +1,214 @@
+// Package index implements the five index organizations of Section 2.2 as
+// working structures over the object store and the page-based B+-tree:
+// the simple index (SIX), inherited index (IIX), multi-index (MX),
+// multi-inherited index (MIX) and nested inherited index (NIX, Figures
+// 3–5, primary plus auxiliary index). Every organization supports lookup by
+// the subpath's ending attribute and full maintenance under object
+// insertion and deletion, with page accesses counted on a dedicated pager
+// so the analytic cost model can be validated against the running
+// structures (experiment V1).
+//
+// Indexes cover a subpath [A..B] of a path. For B < len(P) the key domain
+// of the ending attribute A_B is the OIDs of the level-B+1 objects; for
+// B == len(P) it is the atomic values of A_n. Maintenance relies on the
+// paper's forward-reference model: an object's references always point at
+// objects inserted earlier, so a newly inserted object has no parents yet.
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// PathIndex is the common interface of the working index organizations.
+type PathIndex interface {
+	// Org identifies the organization.
+	Org() cost.Organization
+	// Bounds returns the subpath levels [A, B] the index covers.
+	Bounds() (a, b int)
+	// Lookup returns the OIDs of objects of targetClass at some level
+	// within the subpath whose nested A_B value equals key. With hierarchy
+	// set, subclasses of targetClass are included.
+	Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error)
+	// LookupRange is Lookup for a half-open range [lo, hi) of ending
+	// values (Section 3's range-predicate extension).
+	LookupRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error)
+	// OnInsert maintains the index for a newly inserted object of a class
+	// in the subpath's scope.
+	OnInsert(obj *oodb.Object) error
+	// OnDelete maintains the index for a deleted object.
+	OnDelete(obj *oodb.Object) error
+	// BoundaryDelete removes the index entries keyed by an OID of the
+	// class hierarchy at level B+1 (Definition 4.2's boundary maintenance:
+	// the deleted object was a key value of this subpath's ending
+	// attribute). No-op for subpaths ending the path.
+	BoundaryDelete(oid oodb.OID) error
+	// Stats returns the page-access counters of the index's pager.
+	Stats() storage.Stats
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// Subpath captures the [A..B] slice of a path together with class-level
+// resolution used by every organization.
+type Subpath struct {
+	Path *schema.Path
+	A, B int
+	// levelOf maps every class in the subpath's scope to its global level.
+	levelOf map[string]int
+}
+
+// NewSubpath validates bounds and precomputes the scope map.
+func NewSubpath(p *schema.Path, a, b int) (*Subpath, error) {
+	if p == nil {
+		return nil, fmt.Errorf("index: nil path")
+	}
+	if a < 1 || b > p.Len() || a > b {
+		return nil, fmt.Errorf("index: invalid subpath [%d,%d] of %s", a, b, p)
+	}
+	sp := &Subpath{Path: p, A: a, B: b, levelOf: make(map[string]int)}
+	for l := a; l <= b; l++ {
+		for _, cn := range p.HierarchyAt(l) {
+			sp.levelOf[cn] = l
+		}
+	}
+	return sp, nil
+}
+
+// LevelOf returns the global level of a class within the subpath's scope.
+func (sp *Subpath) LevelOf(class string) (int, bool) {
+	l, ok := sp.levelOf[class]
+	return l, ok
+}
+
+// Attr returns the path attribute at global level l.
+func (sp *Subpath) Attr(l int) string { return sp.Path.Attr(l) }
+
+// EndsPath reports whether the subpath contains the path's ending attribute.
+func (sp *Subpath) EndsPath() bool { return sp.B == sp.Path.Len() }
+
+// EncodeValue encodes an attribute value as a B+-tree key. The kind tag
+// keeps value spaces disjoint; integers and OIDs are big-endian so byte
+// order matches numeric order.
+func EncodeValue(v oodb.Value) []byte {
+	switch v.Kind {
+	case oodb.IntVal:
+		b := make([]byte, 9)
+		b[0] = 'i'
+		// Flipping the sign bit makes the big-endian byte order coincide
+		// with numeric order across negative and positive values, which
+		// range scans rely on.
+		binary.BigEndian.PutUint64(b[1:], uint64(v.Int)^(1<<63))
+		return b
+	case oodb.StrVal:
+		return append([]byte{'s'}, v.Str...)
+	default:
+		b := make([]byte, 9)
+		b[0] = 'r'
+		binary.BigEndian.PutUint64(b[1:], uint64(v.Ref))
+		return b
+	}
+}
+
+// EncodeOID encodes an OID key.
+func EncodeOID(oid oodb.OID) []byte { return EncodeValue(oodb.RefV(oid)) }
+
+// oidSet is a serialized sorted set of OIDs: count-prefixed big-endian
+// 64-bit values.
+func encodeOIDSet(oids []oodb.OID) []byte {
+	sorted := append([]oodb.OID(nil), oids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]byte, 4+8*len(sorted))
+	binary.BigEndian.PutUint32(out, uint32(len(sorted)))
+	for i, o := range sorted {
+		binary.BigEndian.PutUint64(out[4+8*i:], uint64(o))
+	}
+	return out
+}
+
+func decodeOIDSet(b []byte) ([]oodb.OID, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("index: truncated OID set")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+8*n {
+		return nil, fmt.Errorf("index: OID set of %d entries in %d bytes", n, len(b))
+	}
+	out := make([]oodb.OID, n)
+	for i := 0; i < n; i++ {
+		out[i] = oodb.OID(binary.BigEndian.Uint64(b[4+8*i:]))
+	}
+	return out, nil
+}
+
+// addOID inserts an OID into a serialized set, returning the new set.
+func addOID(b []byte, oid oodb.OID) []byte {
+	var oids []oodb.OID
+	if b != nil {
+		oids, _ = decodeOIDSet(b)
+	}
+	for _, o := range oids {
+		if o == oid {
+			return b
+		}
+	}
+	return encodeOIDSet(append(oids, oid))
+}
+
+// removeOID removes an OID from a serialized set, returning nil when the
+// set empties (which deletes the index record).
+func removeOID(b []byte, oid oodb.OID) []byte {
+	if b == nil {
+		return nil
+	}
+	oids, _ := decodeOIDSet(b)
+	out := oids[:0]
+	for _, o := range oids {
+		if o != oid {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return encodeOIDSet(out)
+}
+
+// valuesAt returns the object's values for the subpath attribute of its
+// level. For levels below B these are references; for level B of a
+// path-ending subpath they are atomic values.
+func (sp *Subpath) valuesAt(obj *oodb.Object) []oodb.Value {
+	l, ok := sp.levelOf[obj.Class]
+	if !ok {
+		return nil
+	}
+	return obj.Values(sp.Attr(l))
+}
+
+// classesAt returns the hierarchy class names at global level l.
+func (sp *Subpath) classesAt(l int) []string { return sp.Path.HierarchyAt(l) }
+
+// uniqueSorted deduplicates and sorts OIDs for deterministic results.
+func uniqueSorted(oids []oodb.OID) []oodb.OID {
+	if len(oids) == 0 {
+		return nil
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	out := oids[:1]
+	for _, o := range oids[1:] {
+		if o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// keysEqual compares encoded keys.
+func keysEqual(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,163 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// MultiInheritedIndex is the MIX organization: one inherited
+// (hierarchy-wide) index per class of class(P) along the subpath
+// (Section 2.2). It differs from MX in allocating an index per level
+// rather than per class; a record for a value holds the OIDs of the whole
+// hierarchy holding it.
+type MultiInheritedIndex struct {
+	sp    *Subpath
+	pager *storage.Pager
+	// byLevel[l-A] is the hierarchy-wide index at global level l.
+	byLevel []*AttrIndex
+	// ownerClass records the class of each indexed OID so hierarchy-wide
+	// records can be filtered to a single class. A real system reads the
+	// class off the OID's page; the registry avoids charging object-store
+	// accesses to the index pager.
+	ownerClass map[oodb.OID]string
+}
+
+// NewMultiInheritedIndex allocates the MIX structure for subpath [a..b].
+func NewMultiInheritedIndex(p *schema.Path, a, b, pageSize int) (*MultiInheritedIndex, error) {
+	sp, err := NewSubpath(p, a, b)
+	if err != nil {
+		return nil, err
+	}
+	pager, err := storage.NewPager(pageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	mix := &MultiInheritedIndex{sp: sp, pager: pager}
+	for l := a; l <= b; l++ {
+		ai, err := NewAttrIndex(pager, fmt.Sprintf("mix/%d", l), sp.Attr(l), sp.classesAt(l))
+		if err != nil {
+			return nil, err
+		}
+		mix.byLevel = append(mix.byLevel, ai)
+	}
+	return mix, nil
+}
+
+// Org returns cost.MIX.
+func (mix *MultiInheritedIndex) Org() cost.Organization { return cost.MIX }
+
+// Bounds returns the covered levels.
+func (mix *MultiInheritedIndex) Bounds() (int, int) { return mix.sp.A, mix.sp.B }
+
+// Stats returns the pager counters.
+func (mix *MultiInheritedIndex) Stats() storage.Stats { return mix.pager.Stats() }
+
+// ResetStats zeroes the pager counters.
+func (mix *MultiInheritedIndex) ResetStats() { mix.pager.ResetStats() }
+
+// LevelIndex exposes the hierarchy index at global level l.
+func (mix *MultiInheritedIndex) LevelIndex(l int) *AttrIndex {
+	if l < mix.sp.A || l > mix.sp.B {
+		return nil
+	}
+	return mix.byLevel[l-mix.sp.A]
+}
+
+// Lookup chains hierarchy-index probes from the ending attribute back to
+// the target level, then filters to the requested class(es). The filter
+// consults the store-free class map of the subpath: an inherited index
+// returns the whole hierarchy's OIDs, and the class of an OID is known to
+// the caller; here we filter using the owner registry.
+func (mix *MultiInheritedIndex) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	l, ok := mix.sp.LevelOf(targetClass)
+	if !ok {
+		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	}
+	keys := []oodb.Value{key}
+	for i := mix.sp.B; i >= l; i-- {
+		var oids []oodb.OID
+		ai := mix.byLevel[i-mix.sp.A]
+		for _, k := range keys {
+			got, err := ai.Lookup(k)
+			if err != nil {
+				return nil, err
+			}
+			oids = append(oids, got...)
+		}
+		oids = uniqueSorted(oids)
+		if i == l {
+			if hierarchy && targetClass == mix.sp.Path.Class(l) {
+				return oids, nil // whole hierarchy requested: done
+			}
+			return mix.filterByClass(oids, targetClass, hierarchy), nil
+		}
+		keys = keys[:0]
+		for _, o := range oids {
+			keys = append(keys, oodb.RefV(o))
+		}
+		if len(keys) == 0 {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+func (mix *MultiInheritedIndex) filterByClass(oids []oodb.OID, targetClass string, hierarchy bool) []oodb.OID {
+	targets := map[string]bool{targetClass: true}
+	if hierarchy {
+		for _, cn := range mix.sp.Path.Schema().Hierarchy(targetClass) {
+			targets[cn] = true
+		}
+	}
+	out := oids[:0]
+	for _, o := range oids {
+		if cls, ok := mix.ownerClass[o]; ok && targets[cls] {
+			out = append(out, o)
+		}
+	}
+	return append([]oodb.OID(nil), out...)
+}
+
+// OnInsert adds the object to its level's hierarchy index.
+func (mix *MultiInheritedIndex) OnInsert(obj *oodb.Object) error {
+	l, ok := mix.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	if mix.ownerClass == nil {
+		mix.ownerClass = make(map[oodb.OID]string)
+	}
+	mix.ownerClass[obj.OID] = obj.Class
+	return mix.byLevel[l-mix.sp.A].Add(obj)
+}
+
+// OnDelete removes the object from its level's index and drops the record
+// keyed by its OID from the previous level's index.
+func (mix *MultiInheritedIndex) OnDelete(obj *oodb.Object) error {
+	l, ok := mix.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	if err := mix.byLevel[l-mix.sp.A].Remove(obj); err != nil {
+		return err
+	}
+	delete(mix.ownerClass, obj.OID)
+	if l > mix.sp.A {
+		mix.byLevel[l-1-mix.sp.A].RemoveKey(obj.OID)
+	}
+	return nil
+}
+
+// BoundaryDelete drops the record keyed by a level-B+1 OID from the
+// level-B index (Definition 4.2).
+func (mix *MultiInheritedIndex) BoundaryDelete(oid oodb.OID) error {
+	if mix.sp.EndsPath() {
+		return nil
+	}
+	mix.byLevel[mix.sp.B-mix.sp.A].RemoveKey(oid)
+	return nil
+}

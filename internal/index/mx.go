@@ -1,0 +1,151 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// MultiIndex is the MX organization: one simple index per class in the
+// scope of the subpath, on the path attribute of its level (Section 2.2).
+// A query against the ending attribute chains lookups backward: OIDs
+// returned at level i are the key values probed at level i-1.
+type MultiIndex struct {
+	sp    *Subpath
+	pager *storage.Pager
+	// byLevel[l-A][class] is the class's index at global level l.
+	byLevel []map[string]*AttrIndex
+}
+
+// NewMultiIndex allocates the MX structure for subpath [a..b] of p, with
+// all component indexes on one pager sized pageSize.
+func NewMultiIndex(p *schema.Path, a, b, pageSize int) (*MultiIndex, error) {
+	sp, err := NewSubpath(p, a, b)
+	if err != nil {
+		return nil, err
+	}
+	pager, err := storage.NewPager(pageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	mx := &MultiIndex{sp: sp, pager: pager}
+	for l := a; l <= b; l++ {
+		level := make(map[string]*AttrIndex)
+		for _, cn := range sp.classesAt(l) {
+			ai, err := NewAttrIndex(pager, fmt.Sprintf("mx/%d/%s", l, cn), sp.Attr(l), []string{cn})
+			if err != nil {
+				return nil, err
+			}
+			level[cn] = ai
+		}
+		mx.byLevel = append(mx.byLevel, level)
+	}
+	return mx, nil
+}
+
+// Org returns cost.MX.
+func (mx *MultiIndex) Org() cost.Organization { return cost.MX }
+
+// Bounds returns the covered levels.
+func (mx *MultiIndex) Bounds() (int, int) { return mx.sp.A, mx.sp.B }
+
+// Stats returns the pager counters.
+func (mx *MultiIndex) Stats() storage.Stats { return mx.pager.Stats() }
+
+// ResetStats zeroes the pager counters.
+func (mx *MultiIndex) ResetStats() { mx.pager.ResetStats() }
+
+// ClassIndex exposes one component index (for tests and geometry checks).
+func (mx *MultiIndex) ClassIndex(l int, class string) *AttrIndex {
+	if l < mx.sp.A || l > mx.sp.B {
+		return nil
+	}
+	return mx.byLevel[l-mx.sp.A][class]
+}
+
+// Lookup chains index probes from the ending attribute back to the target
+// class's level.
+func (mx *MultiIndex) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	l, ok := mx.sp.LevelOf(targetClass)
+	if !ok {
+		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	}
+	targets := map[string]bool{targetClass: true}
+	if hierarchy {
+		for _, cn := range mx.sp.Path.Schema().Hierarchy(targetClass) {
+			targets[cn] = true
+		}
+	}
+	keys := []oodb.Value{key}
+	for i := mx.sp.B; i >= l; i-- {
+		var oids []oodb.OID
+		for _, cn := range mx.sp.classesAt(i) {
+			if i == l && !targets[cn] {
+				continue
+			}
+			ai := mx.byLevel[i-mx.sp.A][cn]
+			for _, k := range keys {
+				got, err := ai.Lookup(k)
+				if err != nil {
+					return nil, err
+				}
+				oids = append(oids, got...)
+			}
+		}
+		oids = uniqueSorted(oids)
+		if i == l {
+			return oids, nil
+		}
+		keys = keys[:0]
+		for _, o := range oids {
+			keys = append(keys, oodb.RefV(o))
+		}
+		if len(keys) == 0 {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// OnInsert adds the object to its class's index.
+func (mx *MultiIndex) OnInsert(obj *oodb.Object) error {
+	l, ok := mx.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	return mx.byLevel[l-mx.sp.A][obj.Class].Add(obj)
+}
+
+// OnDelete removes the object from its class's index and, per Section 3.1,
+// drops the records keyed by its OID from every index of the previous
+// level within the subpath.
+func (mx *MultiIndex) OnDelete(obj *oodb.Object) error {
+	l, ok := mx.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	if err := mx.byLevel[l-mx.sp.A][obj.Class].Remove(obj); err != nil {
+		return err
+	}
+	if l > mx.sp.A {
+		for _, ai := range mx.byLevel[l-1-mx.sp.A] {
+			ai.RemoveKey(obj.OID)
+		}
+	}
+	return nil
+}
+
+// BoundaryDelete drops the records keyed by an OID of level B+1 from the
+// level-B indexes (Definition 4.2).
+func (mx *MultiIndex) BoundaryDelete(oid oodb.OID) error {
+	if mx.sp.EndsPath() {
+		return nil
+	}
+	for _, ai := range mx.byLevel[mx.sp.B-mx.sp.A] {
+		ai.RemoveKey(oid)
+	}
+	return nil
+}

@@ -1,0 +1,606 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/cost"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// NestedInheritedIndex is the NIX organization (Section 3.1, Figures 3–5):
+//
+//   - a primary index mapping each value of the subpath's ending attribute
+//     to, for every class in the subpath's scope, the (OID, numchild) pairs
+//     of objects reaching that value through the path, laid out with a
+//     class directory so a single class's section can be read without
+//     fetching the whole (possibly multi-page) record;
+//   - an auxiliary index mapping each object of levels A+1..B to its
+//     3-tuple: aggregation parents and pointers to the primary records
+//     containing it, used to maintain the primary index without navigating
+//     the database.
+//
+// numchild of an entry (O, c) in the record of value v counts how many of
+// O's children in the record also reach v; an entry is dropped when its
+// count reaches zero, cascading to its own parents (the deletion algorithm
+// of Section 3.1).
+type NestedInheritedIndex struct {
+	sp       *Subpath
+	pager    *storage.Pager
+	primary  *btree.Tree
+	aux      *btree.Tree
+	classPos map[string]int // class -> section position
+	classes  []string       // section order: levels A..B, hierarchy order
+}
+
+// NewNestedInheritedIndex allocates the NIX for subpath [a..b].
+func NewNestedInheritedIndex(p *schema.Path, a, b, pageSize int) (*NestedInheritedIndex, error) {
+	sp, err := NewSubpath(p, a, b)
+	if err != nil {
+		return nil, err
+	}
+	pager, err := storage.NewPager(pageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	nx := &NestedInheritedIndex{
+		sp:       sp,
+		pager:    pager,
+		primary:  btree.New(pager, "nix/primary"),
+		aux:      btree.New(pager, "nix/aux"),
+		classPos: make(map[string]int),
+	}
+	for l := a; l <= b; l++ {
+		for _, cn := range sp.classesAt(l) {
+			nx.classPos[cn] = len(nx.classes)
+			nx.classes = append(nx.classes, cn)
+		}
+	}
+	return nx, nil
+}
+
+// Org returns cost.NIX.
+func (nx *NestedInheritedIndex) Org() cost.Organization { return cost.NIX }
+
+// Bounds returns the covered levels.
+func (nx *NestedInheritedIndex) Bounds() (int, int) { return nx.sp.A, nx.sp.B }
+
+// Stats returns the pager counters.
+func (nx *NestedInheritedIndex) Stats() storage.Stats { return nx.pager.Stats() }
+
+// ResetStats zeroes the pager counters.
+func (nx *NestedInheritedIndex) ResetStats() { nx.pager.ResetStats() }
+
+// PrimaryTree and AuxTree expose the trees for geometry assertions.
+func (nx *NestedInheritedIndex) PrimaryTree() *btree.Tree { return nx.primary }
+
+// AuxTree exposes the auxiliary tree.
+func (nx *NestedInheritedIndex) AuxTree() *btree.Tree { return nx.aux }
+
+// ---- primary record serialization -------------------------------------
+
+// nixEntry is one (OID, numchild) pair of a class section.
+type nixEntry struct {
+	oid   oodb.OID
+	count uint32
+}
+
+// nixRecord is a decoded primary record: one entry list per class, ordered
+// like nx.classes.
+type nixRecord struct {
+	sections [][]nixEntry
+}
+
+func (nx *NestedInheritedIndex) newRecord() *nixRecord {
+	return &nixRecord{sections: make([][]nixEntry, len(nx.classes))}
+}
+
+func (r *nixRecord) empty() bool {
+	for _, s := range r.sections {
+		if len(s) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *nixRecord) find(pos int, oid oodb.OID) int {
+	for i, e := range r.sections[pos] {
+		if e.oid == oid {
+			return i
+		}
+	}
+	return -1
+}
+
+// headerLen is the byte length of the class directory: a count plus
+// (offset, count) per class.
+func (nx *NestedInheritedIndex) headerLen() int { return 4 + 8*len(nx.classes) }
+
+const nixEntryLen = 12 // oid (8) + numchild (4)
+
+func (nx *NestedInheritedIndex) encodeRecord(r *nixRecord) []byte {
+	h := nx.headerLen()
+	total := h
+	for _, s := range r.sections {
+		total += len(s) * nixEntryLen
+	}
+	out := make([]byte, total)
+	binary.BigEndian.PutUint32(out, uint32(len(nx.classes)))
+	off := h
+	for i, s := range r.sections {
+		binary.BigEndian.PutUint32(out[4+8*i:], uint32(off))
+		binary.BigEndian.PutUint32(out[4+8*i+4:], uint32(len(s)))
+		for _, e := range s {
+			binary.BigEndian.PutUint64(out[off:], uint64(e.oid))
+			binary.BigEndian.PutUint32(out[off+8:], e.count)
+			off += nixEntryLen
+		}
+	}
+	return out
+}
+
+func (nx *NestedInheritedIndex) decodeRecord(b []byte) (*nixRecord, error) {
+	if len(b) < nx.headerLen() {
+		return nil, fmt.Errorf("index: truncated NIX record (%d bytes)", len(b))
+	}
+	nc := int(binary.BigEndian.Uint32(b))
+	if nc != len(nx.classes) {
+		return nil, fmt.Errorf("index: NIX record with %d classes, want %d", nc, len(nx.classes))
+	}
+	r := nx.newRecord()
+	for i := 0; i < nc; i++ {
+		off := int(binary.BigEndian.Uint32(b[4+8*i:]))
+		cnt := int(binary.BigEndian.Uint32(b[4+8*i+4:]))
+		if off+cnt*nixEntryLen > len(b) {
+			return nil, fmt.Errorf("index: NIX section %d out of bounds", i)
+		}
+		for j := 0; j < cnt; j++ {
+			p := off + j*nixEntryLen
+			r.sections[i] = append(r.sections[i], nixEntry{
+				oid:   oodb.OID(binary.BigEndian.Uint64(b[p:])),
+				count: binary.BigEndian.Uint32(b[p+8:]),
+			})
+		}
+	}
+	return r, nil
+}
+
+// ---- auxiliary 3-tuple serialization -----------------------------------
+
+// auxTuple is a decoded 3-tuple (Figure 4): the object's aggregation
+// parents and the primary keys whose records contain the object.
+type auxTuple struct {
+	parents  []oodb.OID
+	pointers [][]byte // encoded primary keys
+}
+
+func encodeAux(t *auxTuple) []byte {
+	size := 4 + 8*len(t.parents) + 4
+	for _, p := range t.pointers {
+		size += 2 + len(p)
+	}
+	out := make([]byte, size)
+	binary.BigEndian.PutUint32(out, uint32(len(t.parents)))
+	off := 4
+	for _, p := range t.parents {
+		binary.BigEndian.PutUint64(out[off:], uint64(p))
+		off += 8
+	}
+	binary.BigEndian.PutUint32(out[off:], uint32(len(t.pointers)))
+	off += 4
+	for _, p := range t.pointers {
+		binary.BigEndian.PutUint16(out[off:], uint16(len(p)))
+		off += 2
+		copy(out[off:], p)
+		off += len(p)
+	}
+	return out
+}
+
+func decodeAux(b []byte) (*auxTuple, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("index: truncated aux tuple")
+	}
+	t := &auxTuple{}
+	np := int(binary.BigEndian.Uint32(b))
+	off := 4
+	if len(b) < off+8*np+4 {
+		return nil, fmt.Errorf("index: aux tuple parents out of bounds")
+	}
+	for i := 0; i < np; i++ {
+		t.parents = append(t.parents, oodb.OID(binary.BigEndian.Uint64(b[off:])))
+		off += 8
+	}
+	nq := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < nq; i++ {
+		if len(b) < off+2 {
+			return nil, fmt.Errorf("index: aux tuple pointer header out of bounds")
+		}
+		l := int(binary.BigEndian.Uint16(b[off:]))
+		off += 2
+		if len(b) < off+l {
+			return nil, fmt.Errorf("index: aux tuple pointer out of bounds")
+		}
+		t.pointers = append(t.pointers, append([]byte(nil), b[off:off+l]...))
+		off += l
+	}
+	return t, nil
+}
+
+func (t *auxTuple) addParent(p oodb.OID) {
+	for _, x := range t.parents {
+		if x == p {
+			return
+		}
+	}
+	t.parents = append(t.parents, p)
+	sort.Slice(t.parents, func(i, j int) bool { return t.parents[i] < t.parents[j] })
+}
+
+func (t *auxTuple) removeParent(p oodb.OID) {
+	out := t.parents[:0]
+	for _, x := range t.parents {
+		if x != p {
+			out = append(out, x)
+		}
+	}
+	t.parents = out
+}
+
+func (t *auxTuple) addPointer(key []byte) {
+	for _, p := range t.pointers {
+		if keysEqual(p, key) {
+			return
+		}
+	}
+	t.pointers = append(t.pointers, append([]byte(nil), key...))
+}
+
+func (t *auxTuple) removePointer(key []byte) {
+	out := t.pointers[:0]
+	for _, p := range t.pointers {
+		if !keysEqual(p, key) {
+			out = append(out, p)
+		}
+	}
+	t.pointers = out
+}
+
+func (nx *NestedInheritedIndex) getAux(oid oodb.OID) (*auxTuple, bool, error) {
+	raw, ok := nx.aux.Get(EncodeOID(oid))
+	if !ok {
+		return nil, false, nil
+	}
+	t, err := decodeAux(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+func (nx *NestedInheritedIndex) putAux(oid oodb.OID, t *auxTuple) {
+	nx.aux.Insert(EncodeOID(oid), encodeAux(t))
+}
+
+// ---- lookup -------------------------------------------------------------
+
+// Lookup reads the target class's section(s) of the primary record through
+// the class directory, touching only the covering pages of a multi-page
+// record.
+func (nx *NestedInheritedIndex) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	if _, ok := nx.sp.LevelOf(targetClass); !ok {
+		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	}
+	ek := EncodeValue(key)
+	head, ok := nx.primary.GetSection(ek, 0, nx.headerLen())
+	if !ok {
+		return nil, nil
+	}
+	if len(head) < nx.headerLen() {
+		return nil, fmt.Errorf("index: short NIX header")
+	}
+	classes := []string{targetClass}
+	if hierarchy {
+		classes = nx.sp.Path.Schema().Hierarchy(targetClass)
+	}
+	var out []oodb.OID
+	for _, cn := range classes {
+		pos, ok := nx.classPos[cn]
+		if !ok {
+			continue
+		}
+		off := int(binary.BigEndian.Uint32(head[4+8*pos:]))
+		cnt := int(binary.BigEndian.Uint32(head[4+8*pos+4:]))
+		if cnt == 0 {
+			continue
+		}
+		sec, ok := nx.primary.GetSection(ek, off, cnt*nixEntryLen)
+		if !ok || len(sec) < cnt*nixEntryLen {
+			return nil, fmt.Errorf("index: NIX section read failed for %s", cn)
+		}
+		for j := 0; j < cnt; j++ {
+			out = append(out, oodb.OID(binary.BigEndian.Uint64(sec[j*nixEntryLen:])))
+		}
+	}
+	return uniqueSorted(out), nil
+}
+
+// ---- maintenance ---------------------------------------------------------
+
+// keyCounts maps encoded primary keys (as strings) to a child multiplicity.
+type keyCounts map[string]int
+
+// collectChildPointers reads the aux tuples of the object's children and
+// returns, per primary key, how many children carry it. Children at level
+// B of a path-ending subpath have no tuples; their keys are the values
+// themselves — that case is handled by the caller.
+func (nx *NestedInheritedIndex) collectChildPointers(children []oodb.OID) (keyCounts, error) {
+	kc := make(keyCounts)
+	for _, c := range children {
+		t, ok, err := nx.getAux(c)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // child at level A+... of another structure; tolerated
+		}
+		for _, p := range t.pointers {
+			kc[string(p)]++
+		}
+	}
+	return kc, nil
+}
+
+// childKeys derives the primary keys reached by the object, with child
+// multiplicities (the numchild seed of its entries).
+func (nx *NestedInheritedIndex) childKeys(obj *oodb.Object, l int) (keyCounts, error) {
+	vals := obj.Values(nx.sp.Attr(l))
+	if l == nx.B() {
+		kc := make(keyCounts)
+		for _, v := range vals {
+			kc[string(EncodeValue(v))]++
+		}
+		return kc, nil
+	}
+	var children []oodb.OID
+	for _, v := range vals {
+		if v.Kind == oodb.RefVal {
+			children = append(children, v.Ref)
+		}
+	}
+	return nx.collectChildPointers(children)
+}
+
+// B returns the subpath's ending level.
+func (nx *NestedInheritedIndex) B() int { return nx.sp.B }
+
+// OnInsert implements the insertion algorithm of Section 3.1: update the
+// children's 3-tuples, add the object to the reachable primary records,
+// and insert its own 3-tuple.
+func (nx *NestedInheritedIndex) OnInsert(obj *oodb.Object) error {
+	l, ok := nx.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	pos := nx.classPos[obj.Class]
+
+	// Step 2: visit children tuples, record parenthood, gather pointers.
+	if l < nx.sp.B {
+		for _, c := range obj.Refs(nx.sp.Attr(l)) {
+			t, ok, err := nx.getAux(c)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				t = &auxTuple{}
+			}
+			t.addParent(obj.OID)
+			nx.putAux(c, t)
+		}
+	}
+	kc, err := nx.childKeys(obj, l)
+	if err != nil {
+		return err
+	}
+
+	// Step 3: add the object to each reachable primary record.
+	for k, cnt := range kc {
+		rec, err := nx.loadRecord([]byte(k))
+		if err != nil {
+			return err
+		}
+		if i := rec.find(pos, obj.OID); i >= 0 {
+			rec.sections[pos][i].count += uint32(cnt)
+		} else {
+			rec.sections[pos] = append(rec.sections[pos], nixEntry{oid: obj.OID, count: uint32(cnt)})
+		}
+		nx.storeRecord([]byte(k), rec)
+	}
+
+	// Step 4: the object's own 3-tuple (levels above A only; the first
+	// class and its subclasses have no parents and no tuples).
+	if l > nx.sp.A {
+		t := &auxTuple{}
+		for k := range kc {
+			t.addPointer([]byte(k))
+		}
+		nx.putAux(obj.OID, t)
+	}
+	return nil
+}
+
+// OnDelete implements the deletion algorithm of Section 3.1 with the
+// numchild cascade: remove the object from every primary record containing
+// it, decrement its parents' counts, and propagate removals whose counts
+// reach zero.
+func (nx *NestedInheritedIndex) OnDelete(obj *oodb.Object) error {
+	l, ok := nx.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+
+	// Step 1/2: determine SV; update children's tuples; fetch own tuple.
+	if l < nx.sp.B {
+		for _, c := range obj.Refs(nx.sp.Attr(l)) {
+			t, ok, err := nx.getAux(c)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.removeParent(obj.OID)
+				nx.putAux(c, t)
+			}
+		}
+	}
+	var pointers [][]byte
+	var parents []oodb.OID
+	if l > nx.sp.A {
+		t, ok, err := nx.getAux(obj.OID)
+		if err != nil {
+			return err
+		}
+		if ok {
+			pointers = t.pointers
+			parents = t.parents
+			nx.aux.Delete(EncodeOID(obj.OID))
+		}
+	} else {
+		// Level-A objects have no tuple; their records are reachable
+		// through their children (or are the values themselves at B==A).
+		kc, err := nx.childKeys(obj, l)
+		if err != nil {
+			return err
+		}
+		for k := range kc {
+			pointers = append(pointers, []byte(k))
+		}
+	}
+
+	// Step 3: remove the object from each primary record and cascade.
+	for _, k := range pointers {
+		rec, err := nx.loadRecord(k)
+		if err != nil {
+			return err
+		}
+		if err := nx.cascadeRemove(rec, k, l, obj.OID, parents); err != nil {
+			return err
+		}
+		nx.storeRecord(k, rec)
+	}
+	return nil
+}
+
+// cascadeRemove deletes the entry of oid at level l from rec (keyed by k)
+// and propagates numchild decrements to the given parents; parents whose
+// count reaches zero are removed recursively, their own parents fetched
+// from the auxiliary index (steps 3a–3c).
+func (nx *NestedInheritedIndex) cascadeRemove(rec *nixRecord, k []byte, l int, oid oodb.OID, parents []oodb.OID) error {
+	// Remove the entry itself (search the level's classes).
+	for _, cn := range nx.sp.classesAt(l) {
+		pos := nx.classPos[cn]
+		if i := rec.find(pos, oid); i >= 0 {
+			rec.sections[pos] = append(rec.sections[pos][:i], rec.sections[pos][i+1:]...)
+			break
+		}
+	}
+	if l == nx.sp.A {
+		return nil // no parents within the subpath
+	}
+	for _, p := range parents {
+		var pos, i int = -1, -1
+		for _, cn := range nx.sp.classesAt(l - 1) {
+			cp := nx.classPos[cn]
+			if j := rec.find(cp, p); j >= 0 {
+				pos, i = cp, j
+				break
+			}
+		}
+		if pos < 0 {
+			continue // parent does not reach this record
+		}
+		if rec.sections[pos][i].count > 1 {
+			rec.sections[pos][i].count--
+			continue
+		}
+		// Count reaches zero: remove the parent entry, fix its tuple, and
+		// recurse with its own parents.
+		var grandparents []oodb.OID
+		if l-1 > nx.sp.A {
+			t, ok, err := nx.getAux(p)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.removePointer(k)
+				nx.putAux(p, t)
+				grandparents = t.parents
+			}
+		}
+		if err := nx.cascadeRemove(rec, k, l-1, p, grandparents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BoundaryDelete removes the primary record keyed by a deleted level-B+1
+// OID and erases the dangling pointers from the auxiliary tuples of every
+// object the record listed (Definition 4.2, NIX case with delpoint).
+func (nx *NestedInheritedIndex) BoundaryDelete(oid oodb.OID) error {
+	if nx.sp.EndsPath() {
+		return nil
+	}
+	k := EncodeOID(oid)
+	raw, ok := nx.primary.Get(k)
+	if !ok {
+		return nil
+	}
+	rec, err := nx.decodeRecord(raw)
+	if err != nil {
+		return err
+	}
+	for l := nx.sp.A; l <= nx.sp.B; l++ {
+		if l == nx.sp.A {
+			continue // level-A objects have no tuples
+		}
+		for _, cn := range nx.sp.classesAt(l) {
+			for _, e := range rec.sections[nx.classPos[cn]] {
+				t, ok, err := nx.getAux(e.oid)
+				if err != nil {
+					return err
+				}
+				if ok {
+					t.removePointer(k)
+					nx.putAux(e.oid, t)
+				}
+			}
+		}
+	}
+	nx.primary.Delete(k)
+	return nil
+}
+
+// loadRecord fetches and decodes the record under an encoded key,
+// returning an empty record when absent.
+func (nx *NestedInheritedIndex) loadRecord(k []byte) (*nixRecord, error) {
+	raw, ok := nx.primary.Get(k)
+	if !ok {
+		return nx.newRecord(), nil
+	}
+	return nx.decodeRecord(raw)
+}
+
+// storeRecord writes a record back, deleting it when empty.
+func (nx *NestedInheritedIndex) storeRecord(k []byte, rec *nixRecord) {
+	if rec.empty() {
+		nx.primary.Delete(k)
+		return
+	}
+	nx.primary.Insert(k, nx.encodeRecord(rec))
+}

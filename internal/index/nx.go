@@ -1,0 +1,212 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/cost"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// NestedIndexNX is the working nested index of [1] (the second Section 6
+// incorporation): a single B+-tree mapping each ending value to the OIDs
+// of the subpath's *starting* class hierarchy reaching it. It answers
+// starting-class queries with one lookup and supports nothing else; with
+// no auxiliary structure, maintenance after an inner-level deletion must
+// re-derive the affected starting objects by scanning the starting
+// hierarchy and re-navigating — exactly the trade-off its cost model
+// charges for.
+type NestedIndexNX struct {
+	sp    *Subpath
+	store *oodb.Store
+	pager *storage.Pager
+	tree  *btree.Tree
+}
+
+// NewNestedIndexNX allocates the NX for subpath [a..b] of p over store.
+func NewNestedIndexNX(store *oodb.Store, p *schema.Path, a, b, pageSize int) (*NestedIndexNX, error) {
+	if store == nil {
+		return nil, fmt.Errorf("index: NX needs a store for navigation")
+	}
+	sp, err := NewSubpath(p, a, b)
+	if err != nil {
+		return nil, err
+	}
+	pager, err := storage.NewPager(pageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &NestedIndexNX{sp: sp, store: store, pager: pager, tree: btree.New(pager, "nx")}, nil
+}
+
+// Org returns cost.NX.
+func (nx *NestedIndexNX) Org() cost.Organization { return cost.NX }
+
+// Bounds returns the covered levels.
+func (nx *NestedIndexNX) Bounds() (int, int) { return nx.sp.A, nx.sp.B }
+
+// Stats returns the index pager counters.
+func (nx *NestedIndexNX) Stats() storage.Stats { return nx.pager.Stats() }
+
+// ResetStats zeroes the index pager counters.
+func (nx *NestedIndexNX) ResetStats() { nx.pager.ResetStats() }
+
+// Tree exposes the underlying B+-tree.
+func (nx *NestedIndexNX) Tree() *btree.Tree { return nx.tree }
+
+// Lookup answers queries with respect to the starting class (or its
+// hierarchy) only; the structure holds no inner-class information.
+func (nx *NestedIndexNX) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	if err := nx.checkTarget(targetClass); err != nil {
+		return nil, err
+	}
+	raw, ok := nx.tree.Get(EncodeValue(key))
+	if !ok {
+		return nil, nil
+	}
+	oids, err := decodeOIDSet(raw)
+	if err != nil {
+		return nil, err
+	}
+	return nx.filter(oids, targetClass, hierarchy), nil
+}
+
+// LookupRange scans [lo, hi); starting class only.
+func (nx *NestedIndexNX) LookupRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	if err := nx.checkTarget(targetClass); err != nil {
+		return nil, err
+	}
+	elo, ehi, err := rangeBounds(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var out []oodb.OID
+	nx.tree.AscendRange(elo, ehi, func(k, v []byte) bool {
+		got, derr := decodeOIDSet(v)
+		if derr == nil {
+			out = append(out, got...)
+		}
+		return true
+	})
+	return nx.filter(uniqueSorted(out), targetClass, hierarchy), nil
+}
+
+func (nx *NestedIndexNX) checkTarget(targetClass string) error {
+	l, ok := nx.sp.LevelOf(targetClass)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	}
+	if l != nx.sp.A {
+		return fmt.Errorf("index: nested index answers only starting-class queries (class %s is at level %d)", targetClass, l)
+	}
+	return nil
+}
+
+// filter restricts hierarchy-wide record contents to the requested
+// class(es) by consulting the store (catalog information, no page charge).
+func (nx *NestedIndexNX) filter(oids []oodb.OID, targetClass string, hierarchy bool) []oodb.OID {
+	targets := map[string]bool{targetClass: true}
+	if hierarchy {
+		for _, cn := range nx.sp.Path.Schema().Hierarchy(targetClass) {
+			targets[cn] = true
+		}
+	}
+	out := oids[:0]
+	for _, o := range oids {
+		if obj, ok := nx.store.Peek(o); ok && targets[obj.Class] {
+			out = append(out, o)
+		}
+	}
+	return append([]oodb.OID(nil), out...)
+}
+
+// reachedValues navigates forward from a starting object, optionally
+// treating excl as deleted.
+func (nx *NestedIndexNX) reachedValues(obj *oodb.Object, excl oodb.OID) map[string]bool {
+	keys := make(map[string]bool)
+	var walk func(o *oodb.Object, i int)
+	walk = func(o *oodb.Object, i int) {
+		if i == nx.sp.B {
+			for _, v := range o.Values(nx.sp.Attr(i)) {
+				keys[string(EncodeValue(v))] = true
+			}
+			return
+		}
+		for _, r := range o.Refs(nx.sp.Attr(i)) {
+			if r == excl {
+				continue
+			}
+			child, err := nx.store.Get(r)
+			if err != nil {
+				continue
+			}
+			walk(child, i+1)
+		}
+	}
+	walk(obj, nx.sp.A)
+	return keys
+}
+
+// OnInsert maintains the index. Starting-class objects add themselves to
+// every reached record; inner-level insertions are no-ops because forward
+// references guarantee no existing ancestor points at a new object.
+func (nx *NestedIndexNX) OnInsert(obj *oodb.Object) error {
+	l, ok := nx.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	if l != nx.sp.A {
+		return nil
+	}
+	for k := range nx.reachedValues(obj, 0) {
+		nx.tree.Update([]byte(k), func(old []byte) []byte {
+			return addOID(old, obj.OID)
+		})
+	}
+	return nil
+}
+
+// OnDelete maintains the index. Deleting a starting object removes it from
+// its records; deleting an inner object forces a scan of the starting
+// hierarchy: every starting object is re-navigated with the victim
+// excluded and dropped from the keys it no longer reaches.
+func (nx *NestedIndexNX) OnDelete(obj *oodb.Object) error {
+	l, ok := nx.sp.LevelOf(obj.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
+	}
+	if l == nx.sp.A {
+		for k := range nx.reachedValues(obj, 0) {
+			nx.tree.Update([]byte(k), func(old []byte) []byte {
+				return removeOID(old, obj.OID)
+			})
+		}
+		return nil
+	}
+	// Inner-level deletion: the scan the cost model charges for.
+	var fixErr error
+	nx.store.ScanHierarchy(nx.sp.Path.Class(nx.sp.A), func(start *oodb.Object) bool {
+		before := nx.reachedValues(start, 0)
+		after := nx.reachedValues(start, obj.OID)
+		for k := range before {
+			if !after[k] {
+				nx.tree.Update([]byte(k), func(old []byte) []byte {
+					return removeOID(old, start.OID)
+				})
+			}
+		}
+		return true
+	})
+	return fixErr
+}
+
+// BoundaryDelete drops the record keyed by a deleted level-B+1 OID.
+func (nx *NestedIndexNX) BoundaryDelete(oid oodb.OID) error {
+	if nx.sp.EndsPath() {
+		return nil
+	}
+	nx.tree.Delete(EncodeOID(oid))
+	return nil
+}

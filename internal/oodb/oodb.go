@@ -1,0 +1,334 @@
+// Package oodb is the in-memory paged object store the working indexes are
+// built over. It follows the paper's physical assumptions: every object is
+// identified by a system-generated OID, a page contains objects of only one
+// class, and objects hold forward references only. Page accesses are
+// counted through a storage.Pager.
+package oodb
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// OID identifies an object; zero is never valid.
+type OID uint64
+
+// ValueKind discriminates attribute values.
+type ValueKind int
+
+const (
+	// IntVal is an integer-valued attribute value.
+	IntVal ValueKind = iota
+	// StrVal is a string-valued attribute value.
+	StrVal
+	// RefVal is a reference to another object (a part-of relationship).
+	RefVal
+)
+
+// Value is one attribute value: an integer, a string, or an object
+// reference. Multi-valued attributes hold several Values.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Str  string
+	Ref  OID
+}
+
+// IntV, StrV and RefV are Value constructors.
+func IntV(v int64) Value  { return Value{Kind: IntVal, Int: v} }
+func StrV(v string) Value { return Value{Kind: StrVal, Str: v} }
+func RefV(o OID) Value    { return Value{Kind: RefVal, Ref: o} }
+
+// Size returns the budgeted storage footprint of the value in bytes.
+func (v Value) Size() int {
+	switch v.Kind {
+	case StrVal:
+		return 4 + len(v.Str)
+	default:
+		return 8
+	}
+}
+
+// Equal compares two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case IntVal:
+		return v.Int == o.Int
+	case StrVal:
+		return v.Str == o.Str
+	default:
+		return v.Ref == o.Ref
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case IntVal:
+		return fmt.Sprintf("%d", v.Int)
+	case StrVal:
+		return v.Str
+	default:
+		return fmt.Sprintf("oid:%d", v.Ref)
+	}
+}
+
+// Object is a stored object: its identity, class, and attribute values.
+type Object struct {
+	OID   OID
+	Class string
+	Attrs map[string][]Value
+}
+
+// Values returns the attribute's values (nil if unset).
+func (o *Object) Values(attr string) []Value { return o.Attrs[attr] }
+
+// Refs returns the OIDs held by a reference attribute.
+func (o *Object) Refs(attr string) []OID {
+	var out []OID
+	for _, v := range o.Attrs[attr] {
+		if v.Kind == RefVal {
+			out = append(out, v.Ref)
+		}
+	}
+	return out
+}
+
+// size is the budgeted footprint of the object on a page.
+func (o *Object) size() int {
+	s := 16 // OID + header
+	for name, vals := range o.Attrs {
+		s += 4 + len(name)
+		for _, v := range vals {
+			s += v.Size()
+		}
+	}
+	return s
+}
+
+// pageSlot tracks the objects living on one page.
+type pageSlot struct {
+	page *storage.Page
+	used int
+	oids map[OID]bool
+}
+
+// Store is the object database.
+type Store struct {
+	schema  *schema.Schema
+	pager   *storage.Pager
+	next    OID
+	objects map[OID]*Object
+	objPage map[OID]*pageSlot
+	// classPages maps a class to its pages in allocation order; the last
+	// page receives new objects until full.
+	classPages map[string][]*pageSlot
+}
+
+// NewStore creates a store over its own pager with the given page size.
+func NewStore(s *schema.Schema, pageSize int) (*Store, error) {
+	if s == nil {
+		return nil, fmt.Errorf("oodb: nil schema")
+	}
+	pager, err := storage.NewPager(pageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		schema:     s,
+		pager:      pager,
+		next:       1,
+		objects:    make(map[OID]*Object),
+		objPage:    make(map[OID]*pageSlot),
+		classPages: make(map[string][]*pageSlot),
+	}, nil
+}
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *schema.Schema { return st.schema }
+
+// Pager exposes the store's pager for access accounting.
+func (st *Store) Pager() *storage.Pager { return st.pager }
+
+// Len returns the number of live objects.
+func (st *Store) Len() int { return len(st.objects) }
+
+// ClassCount returns the number of objects of exactly the given class.
+func (st *Store) ClassCount(class string) int {
+	var n int
+	for _, slot := range st.classPages[class] {
+		n += len(slot.oids)
+	}
+	return n
+}
+
+// Insert stores a new object of the given class and returns its OID. The
+// class must exist; attribute names must resolve on the class (including
+// inherited attributes); reference values must point at live objects of
+// the declared domain (or a subclass of it).
+func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
+	if st.schema.Class(class) == nil {
+		return 0, fmt.Errorf("oodb: unknown class %q", class)
+	}
+	for name, vals := range attrs {
+		decl, ok := st.schema.ResolveAttr(class, name)
+		if !ok {
+			return 0, fmt.Errorf("oodb: class %q has no attribute %q", class, name)
+		}
+		if !decl.MultiValued && len(vals) > 1 {
+			return 0, fmt.Errorf("oodb: attribute %s.%s is single-valued but got %d values", class, name, len(vals))
+		}
+		for _, v := range vals {
+			if decl.Kind == schema.Ref {
+				if v.Kind != RefVal {
+					return 0, fmt.Errorf("oodb: attribute %s.%s needs references", class, name)
+				}
+				target, ok := st.objects[v.Ref]
+				if !ok {
+					return 0, fmt.Errorf("oodb: %s.%s references missing object %d (forward references only)", class, name, v.Ref)
+				}
+				if !st.schema.IsSubclassOf(target.Class, decl.Domain) {
+					return 0, fmt.Errorf("oodb: %s.%s references %s object, want %s", class, name, target.Class, decl.Domain)
+				}
+			} else if v.Kind == RefVal {
+				return 0, fmt.Errorf("oodb: attribute %s.%s is atomic but got a reference", class, name)
+			}
+		}
+	}
+	obj := &Object{OID: st.next, Class: class, Attrs: make(map[string][]Value, len(attrs))}
+	st.next++
+	for k, vs := range attrs {
+		obj.Attrs[k] = append([]Value(nil), vs...)
+	}
+	slot := st.placeObject(obj)
+	st.objects[obj.OID] = obj
+	st.objPage[obj.OID] = slot
+	return obj.OID, nil
+}
+
+// placeObject puts the object on the last page of its class, allocating a
+// new page when it does not fit, and counts the page write.
+func (st *Store) placeObject(obj *Object) *pageSlot {
+	pages := st.classPages[obj.Class]
+	need := obj.size()
+	var slot *pageSlot
+	if len(pages) > 0 {
+		last := pages[len(pages)-1]
+		if last.used+need <= st.pager.PageSize() {
+			slot = last
+		}
+	}
+	if slot == nil {
+		slot = &pageSlot{page: st.pager.Alloc("obj/" + obj.Class), oids: make(map[OID]bool)}
+		st.classPages[obj.Class] = append(pages, slot)
+	}
+	slot.used += need
+	slot.oids[obj.OID] = true
+	if err := st.pager.Write(slot.page); err != nil {
+		panic("oodb: lost page: " + err.Error())
+	}
+	return slot
+}
+
+// Get fetches an object, counting one page read.
+func (st *Store) Get(oid OID) (*Object, error) {
+	obj, ok := st.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("oodb: no object %d", oid)
+	}
+	if _, err := st.pager.Read(st.objPage[oid].page.ID); err != nil {
+		panic("oodb: lost page: " + err.Error())
+	}
+	return obj, nil
+}
+
+// Peek returns an object without counting a page access; for test
+// assertions and internal bookkeeping that would not touch disk.
+func (st *Store) Peek(oid OID) (*Object, bool) {
+	obj, ok := st.objects[oid]
+	return obj, ok
+}
+
+// Delete removes an object, counting a page write (and freeing the page if
+// it empties). Dangling references from other objects are permitted, as in
+// the paper's forward-reference model; index maintenance handles them.
+func (st *Store) Delete(oid OID) error {
+	obj, ok := st.objects[oid]
+	if !ok {
+		return fmt.Errorf("oodb: no object %d", oid)
+	}
+	slot := st.objPage[oid]
+	delete(slot.oids, oid)
+	slot.used -= obj.size()
+	delete(st.objects, oid)
+	delete(st.objPage, oid)
+	if len(slot.oids) == 0 {
+		pages := st.classPages[obj.Class]
+		for i, s := range pages {
+			if s == slot {
+				st.classPages[obj.Class] = append(pages[:i], pages[i+1:]...)
+				break
+			}
+		}
+		if err := st.pager.Free(slot.page.ID); err != nil {
+			panic("oodb: double free: " + err.Error())
+		}
+		return nil
+	}
+	if err := st.pager.Write(slot.page); err != nil {
+		panic("oodb: lost page: " + err.Error())
+	}
+	return nil
+}
+
+// ScanClass iterates the objects of exactly the given class, counting one
+// page read per page; fn returning false stops the scan.
+func (st *Store) ScanClass(class string, fn func(*Object) bool) {
+	for _, slot := range st.classPages[class] {
+		if _, err := st.pager.Read(slot.page.ID); err != nil {
+			panic("oodb: lost page: " + err.Error())
+		}
+		for oid := range slot.oids {
+			if !fn(st.objects[oid]) {
+				return
+			}
+		}
+	}
+}
+
+// ScanHierarchy iterates the objects of the class and all its subclasses.
+func (st *Store) ScanHierarchy(root string, fn func(*Object) bool) {
+	for _, cn := range st.schema.Hierarchy(root) {
+		stop := false
+		st.ScanClass(cn, func(o *Object) bool {
+			if !fn(o) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// OIDsOfClass returns the OIDs of the class's objects (no page accesses;
+// catalog information).
+func (st *Store) OIDsOfClass(class string) []OID {
+	var out []OID
+	for _, slot := range st.classPages[class] {
+		for oid := range slot.oids {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// PagesOfClass returns the number of pages used by a class.
+func (st *Store) PagesOfClass(class string) int { return len(st.classPages[class]) }

@@ -1,0 +1,240 @@
+package oodb
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func newStore(t testing.TB) *Store {
+	t.Helper()
+	st, err := NewStore(schema.PaperSchema(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestInsertGet(t *testing.T) {
+	st := newStore(t)
+	oid, err := st.Insert("Company", map[string][]Value{
+		"name":     {StrV("Fiat")},
+		"location": {StrV("Torino")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := st.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Class != "Company" || obj.Values("name")[0].Str != "Fiat" {
+		t.Errorf("object = %+v", obj)
+	}
+	if st.Len() != 1 || st.ClassCount("Company") != 1 {
+		t.Errorf("counts: len=%d class=%d", st.Len(), st.ClassCount("Company"))
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	st := newStore(t)
+	if _, err := st.Insert("Nope", nil); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := st.Insert("Company", map[string][]Value{"ghost": {StrV("x")}}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	// man is single-valued.
+	comp, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	if _, err := st.Insert("Vehicle", map[string][]Value{"man": {RefV(comp), RefV(comp)}}); err == nil {
+		t.Error("multi-value on single-valued attribute accepted")
+	}
+	// man needs a reference.
+	if _, err := st.Insert("Vehicle", map[string][]Value{"man": {StrV("Fiat")}}); err == nil {
+		t.Error("atomic value on ref attribute accepted")
+	}
+	// Reference to a missing object (no backward/unresolved refs).
+	if _, err := st.Insert("Vehicle", map[string][]Value{"man": {RefV(999)}}); err == nil {
+		t.Error("dangling forward reference accepted")
+	}
+	// Reference to a wrong class.
+	person, _ := st.Insert("Person", map[string][]Value{"name": {StrV("Rossi")}})
+	if _, err := st.Insert("Vehicle", map[string][]Value{"man": {RefV(person)}}); err == nil {
+		t.Error("wrong-domain reference accepted")
+	}
+	// Atomic attribute given a reference.
+	if _, err := st.Insert("Company", map[string][]Value{"name": {RefV(comp)}}); err == nil {
+		t.Error("reference on atomic attribute accepted")
+	}
+}
+
+func TestInheritedAttributesAndSubclassRefs(t *testing.T) {
+	st := newStore(t)
+	comp, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	// Bus inherits man from Vehicle.
+	bus, err := st.Insert("Bus", map[string][]Value{
+		"man":   {RefV(comp)},
+		"seats": {IntV(52)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Person.owns declares domain Vehicle; a Bus is acceptable.
+	if _, err := st.Insert("Person", map[string][]Value{"owns": {RefV(bus)}}); err != nil {
+		t.Fatalf("subclass reference rejected: %v", err)
+	}
+}
+
+func TestOneClassPerPage(t *testing.T) {
+	st := newStore(t)
+	comp, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	for i := 0; i < 50; i++ {
+		if _, err := st.Insert("Vehicle", map[string][]Value{"man": {RefV(comp)}, "id": {IntV(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.PagesOfClass("Vehicle") < 2 {
+		t.Errorf("Vehicle pages = %d, expected multiple", st.PagesOfClass("Vehicle"))
+	}
+	// Company page separate from Vehicle pages.
+	if st.PagesOfClass("Company") != 1 {
+		t.Errorf("Company pages = %d", st.PagesOfClass("Company"))
+	}
+}
+
+func TestDeleteFreesPages(t *testing.T) {
+	st := newStore(t)
+	var oids []OID
+	for i := 0; i < 40; i++ {
+		oid, _ := st.Insert("Division", map[string][]Value{"name": {StrV("D")}})
+		oids = append(oids, oid)
+	}
+	pagesBefore := st.PagesOfClass("Division")
+	for _, oid := range oids {
+		if err := st.Delete(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.PagesOfClass("Division") != 0 {
+		t.Errorf("pages after deleting all = %d (before: %d)", st.PagesOfClass("Division"), pagesBefore)
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	if err := st.Delete(oids[0]); err == nil {
+		t.Error("double delete succeeded")
+	}
+	if _, err := st.Get(oids[0]); err == nil {
+		t.Error("Get after delete succeeded")
+	}
+}
+
+func TestScanClassCountsPageReads(t *testing.T) {
+	st := newStore(t)
+	for i := 0; i < 60; i++ {
+		if _, err := st.Insert("Division", map[string][]Value{"name": {StrV("D")}, "movings": {IntV(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages := st.PagesOfClass("Division")
+	st.Pager().ResetStats()
+	count := 0
+	st.ScanClass("Division", func(o *Object) bool { count++; return true })
+	if count != 60 {
+		t.Errorf("scanned %d objects", count)
+	}
+	if got := st.Pager().Stats().Reads; int(got) != pages {
+		t.Errorf("scan reads = %d, want %d pages", got, pages)
+	}
+}
+
+func TestScanHierarchy(t *testing.T) {
+	st := newStore(t)
+	comp, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	for i := 0; i < 3; i++ {
+		st.Insert("Vehicle", map[string][]Value{"man": {RefV(comp)}})
+		st.Insert("Bus", map[string][]Value{"man": {RefV(comp)}})
+		st.Insert("Truck", map[string][]Value{"man": {RefV(comp)}})
+	}
+	count := 0
+	st.ScanHierarchy("Vehicle", func(o *Object) bool { count++; return true })
+	if count != 9 {
+		t.Errorf("hierarchy scan visited %d, want 9", count)
+	}
+	// Early stop.
+	count = 0
+	st.ScanHierarchy("Vehicle", func(o *Object) bool { count++; return count < 4 })
+	if count != 4 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestRefsHelper(t *testing.T) {
+	st := newStore(t)
+	comp, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	v1, _ := st.Insert("Vehicle", map[string][]Value{"man": {RefV(comp)}})
+	v2, _ := st.Insert("Vehicle", map[string][]Value{"man": {RefV(comp)}})
+	p, _ := st.Insert("Person", map[string][]Value{"owns": {RefV(v1), RefV(v2)}})
+	obj, _ := st.Get(p)
+	refs := obj.Refs("owns")
+	if len(refs) != 2 || refs[0] != v1 || refs[1] != v2 {
+		t.Errorf("Refs = %v", refs)
+	}
+	if got := obj.Refs("name"); got != nil {
+		t.Errorf("Refs on unset attr = %v", got)
+	}
+}
+
+func TestOIDsOfClassAndPeek(t *testing.T) {
+	st := newStore(t)
+	a, _ := st.Insert("Division", map[string][]Value{"name": {StrV("X")}})
+	b, _ := st.Insert("Division", map[string][]Value{"name": {StrV("Y")}})
+	oids := st.OIDsOfClass("Division")
+	if len(oids) != 2 {
+		t.Fatalf("OIDs = %v", oids)
+	}
+	seen := map[OID]bool{a: false, b: false}
+	for _, o := range oids {
+		seen[o] = true
+	}
+	if !seen[a] || !seen[b] {
+		t.Errorf("OIDs missing: %v", oids)
+	}
+	st.Pager().ResetStats()
+	if _, ok := st.Peek(a); !ok {
+		t.Error("Peek failed")
+	}
+	if st.Pager().Stats().Reads != 0 {
+		t.Error("Peek counted a page access")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !IntV(5).Equal(IntV(5)) || IntV(5).Equal(IntV(6)) {
+		t.Error("Int equality broken")
+	}
+	if !StrV("a").Equal(StrV("a")) || StrV("a").Equal(StrV("b")) {
+		t.Error("Str equality broken")
+	}
+	if !RefV(1).Equal(RefV(1)) || RefV(1).Equal(RefV(2)) {
+		t.Error("Ref equality broken")
+	}
+	if IntV(1).Equal(StrV("1")) {
+		t.Error("cross-kind equality")
+	}
+	if IntV(7).String() != "7" || StrV("x").String() != "x" || RefV(3).String() != "oid:3" {
+		t.Error("String renderings wrong")
+	}
+	if StrV("abc").Size() != 7 || IntV(1).Size() != 8 {
+		t.Error("Size wrong")
+	}
+}
+
+func TestNewStoreErrors(t *testing.T) {
+	if _, err := NewStore(nil, 1024); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewStore(schema.PaperSchema(), 4); err == nil {
+		t.Error("tiny page accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats derives the statistics the selection algorithm needs from
+// a live object store: per-class cardinalities, distinct value counts and
+// attribute fan-outs for every level of a path. This closes the loop a
+// database administrator would run in practice — measure, select,
+// reconfigure — instead of supplying Figure-7-style numbers by hand.
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+// Collect scans the store (one pass per class) and builds PathStats for
+// the path with the given physical parameters. Workload frequencies are
+// left zero — they describe future operations, which only the
+// administrator can predict (Section 3.2) — and should be filled in with
+// SetLoad afterwards.
+func Collect(st *oodb.Store, p *schema.Path, params model.Params) (*model.PathStats, error) {
+	if st == nil || p == nil {
+		return nil, fmt.Errorf("stats: nil store or path")
+	}
+	if st.Schema() != p.Schema() {
+		// Different schema objects may still be structurally identical;
+		// verify the path's classes exist in the store's schema.
+		for _, cn := range p.Scope() {
+			if st.Schema().Class(cn) == nil {
+				return nil, fmt.Errorf("stats: store schema lacks class %q", cn)
+			}
+		}
+	}
+	ps := model.NewPathStats(p, params)
+	for l := 1; l <= p.Len(); l++ {
+		attr := p.Attr(l)
+		for _, cn := range p.HierarchyAt(l) {
+			var n, valueCount float64
+			distinct := make(map[string]bool)
+			st.ScanClass(cn, func(obj *oodb.Object) bool {
+				n++
+				for _, v := range obj.Values(attr) {
+					valueCount++
+					distinct[v.String()] = true
+				}
+				return true
+			})
+			cs := model.ClassStats{Class: cn, N: n, D: float64(len(distinct)), NIN: 1}
+			if n > 0 && valueCount > 0 {
+				cs.NIN = valueCount / n
+			}
+			if cs.D == 0 {
+				cs.D = 1
+			}
+			if err := ps.SetClass(l, cs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ps, nil
+}
+
+// ApplyLoad sets one class's workload triplet, a convenience over
+// (*model.PathStats).SetLoad for the collect-then-load flow.
+func ApplyLoad(ps *model.PathStats, level int, class string, load model.Load) error {
+	return ps.SetLoad(level, class, load)
+}
+
+// UniformLoad applies the same triplet to every class of every level —
+// the quickest way to get a balanced starting workload.
+func UniformLoad(ps *model.PathStats, load model.Load) {
+	for l := 1; l <= ps.Len(); l++ {
+		ls := ps.Level(l)
+		for x := range ls.Loads {
+			ls.Loads[x] = load
+		}
+	}
+}

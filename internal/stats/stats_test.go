@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+func TestCollectMatchesGeneratedShape(t *testing.T) {
+	design := model.Figure7Stats()
+	g, err := gen.Generate(design, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Collect(g.Store, g.Path, design.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Validate(); err != nil {
+		t.Fatalf("collected stats invalid: %v", err)
+	}
+	// Cardinalities are exact.
+	if got := ps.Level(1).Classes[0].N; got != 2000 {
+		t.Errorf("Person N = %g, want 2000", got)
+	}
+	if got := ps.Level(3).Classes[0].N; got != 10 {
+		t.Errorf("Company N = %g, want 10", got)
+	}
+	// Fan-outs: man is single-valued in the schema, so materialized
+	// vehicles hold exactly one reference regardless of the design's
+	// (paper-quirk) nin=3; the multi-valued divs attribute keeps its
+	// designed fan-out of ~4.
+	veh := ps.Level(2).Classes[0]
+	if veh.Class != "Vehicle" || veh.NIN != 1 {
+		t.Errorf("Vehicle NIN = %g, want 1 (single-valued man)", veh.NIN)
+	}
+	comp := ps.Level(3).Classes[0]
+	if comp.NIN < 2 || comp.NIN > 4.5 {
+		t.Errorf("Company NIN = %g, want near 4 (multi-valued divs)", comp.NIN)
+	}
+	// Distinct counts are bounded by instance counts.
+	for l := 1; l <= ps.Len(); l++ {
+		for _, c := range ps.Level(l).Classes {
+			if c.D > c.N*c.NIN+1e-9 {
+				t.Errorf("level %d class %s: D=%g exceeds instances", l, c.Class, c.D)
+			}
+		}
+	}
+	// Loads start at zero.
+	for l := 1; l <= ps.Len(); l++ {
+		for _, ld := range ps.Level(l).Loads {
+			if ld.Alpha != 0 || ld.Beta != 0 || ld.Gamma != 0 {
+				t.Fatal("collected loads not zero")
+			}
+		}
+	}
+}
+
+func TestCollectThenSelect(t *testing.T) {
+	design := model.Figure7Stats()
+	g, err := gen.Generate(design, 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Collect(g.Store, g.Path, design.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-apply the Figure 7 workload and select.
+	for l := 1; l <= design.Len(); l++ {
+		for x, c := range design.Level(l).Classes {
+			if err := ApplyLoad(ps, l, c.Class, design.Level(l).Loads[x]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The selection machinery runs happily over measured statistics.
+	if err := ps.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformLoad(t *testing.T) {
+	ps := model.Figure7Stats()
+	UniformLoad(ps, model.Load{Alpha: 1, Beta: 2, Gamma: 3})
+	for l := 1; l <= ps.Len(); l++ {
+		for _, ld := range ps.Level(l).Loads {
+			if ld.Alpha != 1 || ld.Beta != 2 || ld.Gamma != 3 {
+				t.Fatalf("load = %+v", ld)
+			}
+		}
+	}
+}
+
+func TestCollectEmptyStore(t *testing.T) {
+	st, err := oodb.NewStore(schema.PaperSchema(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := schema.MustNewPath(st.Schema(), "Person", "owns", "man", "name")
+	ps, err := Collect(st, p, model.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= ps.Len(); l++ {
+		for _, c := range ps.Level(l).Classes {
+			if c.N != 0 || c.D != 1 || math.IsNaN(c.NIN) {
+				t.Errorf("empty-store stats: %+v", c)
+			}
+		}
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	if _, err := Collect(nil, nil, model.PaperParams()); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	// A path over a schema whose classes the store lacks.
+	other := schema.New()
+	other.MustAddClass(&schema.Class{Name: "Alien", Attrs: []schema.Attribute{{Name: "x", Kind: schema.Atomic, Domain: "string"}}})
+	p := schema.MustNewPath(other, "Alien", "x")
+	st, _ := oodb.NewStore(schema.PaperSchema(), 1024)
+	if _, err := Collect(st, p, model.PaperParams()); err == nil {
+		t.Error("mismatched schema accepted")
+	}
+}

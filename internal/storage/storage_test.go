@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPagerValidation(t *testing.T) {
+	if _, err := NewPager(8, 0); err == nil {
+		t.Error("tiny page accepted")
+	}
+	if _, err := NewPager(1024, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	p, err := NewPager(1024, 0)
+	if err != nil || p.PageSize() != 1024 {
+		t.Fatalf("NewPager: %v", err)
+	}
+}
+
+func TestAllocReadWriteFree(t *testing.T) {
+	p := MustNewPager(256, 0)
+	pg := p.Alloc("test")
+	if pg.ID == 0 || len(pg.Data) != 256 || pg.Tag != "test" {
+		t.Fatalf("bad page %+v", pg)
+	}
+	got, err := p.Read(pg.ID)
+	if err != nil || got != pg {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := p.Write(pg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s := p.Stats()
+	if s.Allocs != 1 || s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Accesses() != 2 {
+		t.Errorf("Accesses = %d, want 2", s.Accesses())
+	}
+	if err := p.Free(pg.ID); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if p.NumPages() != 0 {
+		t.Errorf("NumPages = %d", p.NumPages())
+	}
+	if _, err := p.Read(pg.ID); err == nil {
+		t.Error("read of freed page succeeded")
+	}
+	if err := p.Write(pg); err == nil {
+		t.Error("write of freed page succeeded")
+	}
+	if err := p.Free(pg.ID); err == nil {
+		t.Error("double free succeeded")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := MustNewPager(256, 0)
+	pg := p.Alloc("")
+	if _, err := p.Read(pg.ID); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	if s := p.Stats(); s.Reads != 0 || s.Allocs != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestBufferPoolHits(t *testing.T) {
+	p := MustNewPager(256, 2)
+	a := p.Alloc("")
+	b := p.Alloc("")
+	c := p.Alloc("")
+	p.ResetStats()
+	// a and b were evicted by c's touch? LRU holds 2: after allocs the LRU
+	// front is c, then b; a is out.
+	if _, err := p.Read(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Reads != 0 {
+		t.Errorf("resident read: %+v", s)
+	}
+	if _, err := p.Read(a.ID); err != nil { // a not resident: miss
+		t.Fatal(err)
+	}
+	s = p.Stats()
+	if s.Reads != 1 {
+		t.Errorf("non-resident read: %+v", s)
+	}
+	// Reading a again now hits; b was evicted.
+	if _, err := p.Read(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	s = p.Stats()
+	if s.Hits != 2 || s.Reads != 2 {
+		t.Errorf("after LRU churn: %+v", s)
+	}
+}
+
+func TestUnbufferedAlwaysCounts(t *testing.T) {
+	p := MustNewPager(256, 0)
+	pg := p.Alloc("")
+	for i := 0; i < 5; i++ {
+		if _, err := p.Read(pg.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.Reads != 5 || s.Hits != 0 {
+		t.Errorf("unbuffered stats = %+v", s)
+	}
+}
+
+func TestPageIDsUnique(t *testing.T) {
+	p := MustNewPager(256, 0)
+	seen := map[PageID]bool{}
+	for i := 0; i < 100; i++ {
+		pg := p.Alloc("")
+		if seen[pg.ID] {
+			t.Fatalf("duplicate page ID %d", pg.ID)
+		}
+		seen[pg.ID] = true
+	}
+}
+
+func TestStatsAccountingProperty(t *testing.T) {
+	// Property: after a mixed sequence of ops, reads+hits equals the number
+	// of Read calls, and NumPages = allocs - frees.
+	f := func(ops []uint8) bool {
+		p := MustNewPager(128, 2)
+		var ids []PageID
+		var readCalls int
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				ids = append(ids, p.Alloc("").ID)
+			case 1:
+				if len(ids) > 0 {
+					id := ids[int(op)%len(ids)]
+					if _, err := p.Read(id); err != nil {
+						return false
+					}
+					readCalls++
+				}
+			case 2:
+				if len(ids) > 0 {
+					i := int(op) % len(ids)
+					if err := p.Free(ids[i]); err != nil {
+						return false
+					}
+					ids = append(ids[:i], ids[i+1:]...)
+				}
+			}
+		}
+		s := p.Stats()
+		if int(s.Reads+s.Hits) != readCalls {
+			return false
+		}
+		return p.NumPages() == int(s.Allocs-s.Frees) && p.NumPages() == len(ids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
