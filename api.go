@@ -217,13 +217,28 @@ type MultiPlan struct {
 	UnsharedCost float64
 }
 
+// SelectBatch runs the full selection for many paths concurrently — one
+// worker per CPU — reusing pooled cost-matrix buffers across paths, and
+// returns one Result per path (in input order). Use it when only the
+// optimal configurations are needed; Select additionally returns the
+// matrix for inspection.
+func SelectBatch(pss []*PathStats, orgs []Organization) ([]Result, error) {
+	return core.SelectBatch(pss, orgs)
+}
+
 // SelectMulti selects configurations for several paths and merges
 // structurally identical indexed subpaths. Paths must share a schema.
+// The per-path selections run concurrently; the merge is deterministic in
+// input order.
 func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
 	var plan MultiPlan
 	if len(pss) == 0 {
 		return plan, fmt.Errorf("ooindex: no paths given")
 	}
+	// Per-path selections are independent; SelectEach fans them out over
+	// the CPUs (splitting the budget with matrix-level parallelism) and
+	// keeps the matrices, which the sharing merge below needs.
+	results, ms, errs := core.SelectEach(pss, orgs)
 	// Sharing model: a physical structure (identical subpath and
 	// organization) is maintained once, so its maintenance cost (including
 	// the Definition 4.2 boundary charge) is counted once across paths;
@@ -235,11 +250,11 @@ func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
 		n int
 	}
 	structures := make(map[string]*physical)
-	for _, ps := range pss {
-		res, m, err := core.Select(ps, orgs)
-		if err != nil {
-			return plan, err
+	for i, ps := range pss {
+		if errs[i] != nil {
+			return plan, errs[i]
 		}
+		res, m := results[i], ms[i]
 		plan.Configs = append(plan.Configs, res.Best)
 		plan.UnsharedCost += res.Best.Cost
 		for _, asg := range res.Best.Assignments {

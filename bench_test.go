@@ -47,9 +47,16 @@ func BenchmarkFig8Matrix(b *testing.B) {
 	b.ReportMetric(float64(rep.Result.Stats.Evaluated), "configs-evaluated")
 }
 
+// selectionLengths are the path lengths of the Section 5 complexity
+// comparison (experiment C1). 20 is the longest length at which the
+// exhaustive baseline (2^19 recombinations) still finishes in seconds.
+var selectionLengths = []int{4, 8, 12, 16, 20}
+
 // BenchmarkSelectionBnB / Exhaustive / DP regenerate the Section 5
-// complexity comparison (experiment C1) at a fixed length.
-func benchSelection(b *testing.B, n int, run func(*core.Matrix) core.Result) {
+// complexity comparison (experiment C1) over a fixed, pre-built matrix.
+// The Into variants reuse the result buffer, so with the dense matrix the
+// search loops run with 0 allocs/op (checked by -benchmem).
+func benchSelection(b *testing.B, n int, run func(*core.Matrix, *core.Result)) {
 	ps, err := experiments.ChainStats(n, 20000, 2000, 2,
 		model.Load{Alpha: 0.3, Beta: 0.1, Gamma: 0.1}, model.PaperParams())
 	if err != nil {
@@ -59,48 +66,67 @@ func benchSelection(b *testing.B, n int, run func(*core.Matrix) core.Result) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var r core.Result
 	for i := 0; i < b.N; i++ {
-		r = run(m)
+		run(m, &r)
 	}
 	b.ReportMetric(float64(r.Stats.Evaluated), "configs-evaluated")
 }
 
 func BenchmarkSelectionBnB(b *testing.B) {
-	for _, n := range []int{4, 8, 12} {
+	for _, n := range selectionLengths {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchSelection(b, n, func(m *core.Matrix) core.Result { return m.OptIndCon() })
+			benchSelection(b, n, (*core.Matrix).OptIndConInto)
 		})
 	}
 }
 
 func BenchmarkSelectionExhaustive(b *testing.B) {
-	for _, n := range []int{4, 8, 12} {
+	for _, n := range selectionLengths {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchSelection(b, n, func(m *core.Matrix) core.Result { return m.Exhaustive() })
+			benchSelection(b, n, (*core.Matrix).ExhaustiveInto)
 		})
 	}
 }
 
 func BenchmarkSelectionDP(b *testing.B) {
-	for _, n := range []int{4, 8, 12} {
+	for _, n := range selectionLengths {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchSelection(b, n, func(m *core.Matrix) core.Result { return m.DP() })
+			benchSelection(b, n, (*core.Matrix).DPInto)
 		})
 	}
 }
 
 // BenchmarkCostMatrix measures Cost_Matrix construction alone (the
 // dominant term the paper's complexity discussion identifies for
-// practical path lengths).
+// practical path lengths), on Figure 7 and on longer chains where the
+// bounded worker pool engages.
 func BenchmarkCostMatrix(b *testing.B) {
-	ps := model.Figure7Stats()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.NewMatrixFromStats(ps, nil); err != nil {
-			b.Fatal(err)
+	b.Run("fig7", func(b *testing.B) {
+		ps := model.Figure7Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewMatrixFromStats(ps, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	for _, n := range []int{8, 16} {
+		b.Run(fmt.Sprintf("chain-n=%d", n), func(b *testing.B) {
+			ps, err := experiments.ChainStats(n, 20000, 2000, 2,
+				model.Load{Alpha: 0.3, Beta: 0.1, Gamma: 0.1}, model.PaperParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewMatrixFromStats(ps, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -226,6 +252,29 @@ func BenchmarkSelectMulti(b *testing.B) {
 		if _, err := SelectMulti([]*PathStats{psA, psB}, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSelectBatch measures the batched selection API: many paths per
+// call, one worker per CPU, matrix buffers recycled through a sync.Pool
+// across paths and calls (the repeated-batch steady state is the target of
+// the ≥10x claim in DESIGN.md §4).
+func BenchmarkSelectBatch(b *testing.B) {
+	for _, paths := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("paths=%d", paths), func(b *testing.B) {
+			pss := make([]*PathStats, paths)
+			for i := range pss {
+				pss[i] = Figure7Stats()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SelectBatch(pss, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(paths)/float64(b.Elapsed().Seconds())*float64(b.N), "paths/sec")
+		})
 	}
 }
 

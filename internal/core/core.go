@@ -11,12 +11,16 @@
 // Two reference implementations — exhaustive enumeration and an O(n^2)
 // dynamic program over path prefixes — cross-check the branch-and-bound
 // result and serve as baselines for the complexity experiments.
+//
+// The matrix is stored as a dense triangular array with the Min_Cost
+// minima precomputed (see matrix.go), and each search procedure has an
+// Into variant that reuses the caller's result buffers, so the search loop
+// itself performs no allocations.
 package core
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"repro/internal/cost"
@@ -76,137 +80,6 @@ func (c Configuration) Validate(n int) error {
 	return nil
 }
 
-// MatrixEntry is one cell of the cost matrix: the processing cost of a
-// subpath under one organization, with its decomposition.
-type MatrixEntry struct {
-	SC cost.SubpathCost
-}
-
-// Matrix is the Cost_Matrix of Section 5: for every subpath [a..b]
-// (1-based) the processing cost under each organization.
-type Matrix struct {
-	N    int
-	Orgs []cost.Organization
-	// cells[key(a,b)][orgIdx]
-	cells map[[2]int][]MatrixEntry
-}
-
-// NewMatrixFromStats computes the full cost matrix of a path from its
-// statistics and workload. orgs defaults to the paper's {MX, MIX, NIX}.
-func NewMatrixFromStats(ps *model.PathStats, orgs []cost.Organization) (*Matrix, error) {
-	if err := ps.Validate(); err != nil {
-		return nil, err
-	}
-	if len(orgs) == 0 {
-		orgs = cost.Organizations
-	}
-	m := &Matrix{N: ps.Len(), Orgs: orgs, cells: make(map[[2]int][]MatrixEntry)}
-	for _, ab := range ps.Path.SubPaths() {
-		a, b := ab[0], ab[1]
-		row := make([]MatrixEntry, len(orgs))
-		for i, org := range orgs {
-			sc, err := cost.SubpathProcessingCost(ps, a, b, org)
-			if err != nil {
-				return nil, fmt.Errorf("core: subpath [%d,%d] %v: %w", a, b, org, err)
-			}
-			row[i] = MatrixEntry{SC: sc}
-		}
-		m.cells[[2]int{a, b}] = row
-	}
-	return m, nil
-}
-
-// NewMatrixFromValues builds a matrix from explicit per-cell costs, as in
-// the hypothetical matrix of Figure 6. values maps [a,b] to a cost per
-// organization, ordered like orgs.
-func NewMatrixFromValues(n int, orgs []cost.Organization, values map[[2]int][]float64) (*Matrix, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("core: path length %d", n)
-	}
-	if len(orgs) == 0 {
-		orgs = cost.Organizations
-	}
-	m := &Matrix{N: n, Orgs: orgs, cells: make(map[[2]int][]MatrixEntry)}
-	for a := 1; a <= n; a++ {
-		for b := a; b <= n; b++ {
-			vs, ok := values[[2]int{a, b}]
-			if !ok {
-				return nil, fmt.Errorf("core: missing costs for subpath [%d,%d]", a, b)
-			}
-			if len(vs) != len(orgs) {
-				return nil, fmt.Errorf("core: subpath [%d,%d] has %d costs for %d organizations", a, b, len(vs), len(orgs))
-			}
-			row := make([]MatrixEntry, len(orgs))
-			for i, v := range vs {
-				if v < 0 || math.IsNaN(v) {
-					return nil, fmt.Errorf("core: invalid cost %g for subpath [%d,%d]", v, a, b)
-				}
-				row[i] = MatrixEntry{SC: cost.SubpathCost{A: a, B: b, Org: orgs[i], Query: v}}
-			}
-			m.cells[[2]int{a, b}] = row
-		}
-	}
-	return m, nil
-}
-
-// Cell returns the cost of subpath [a..b] under org.
-func (m *Matrix) Cell(a, b int, org cost.Organization) (float64, bool) {
-	row, ok := m.cells[[2]int{a, b}]
-	if !ok {
-		return 0, false
-	}
-	for i, o := range m.Orgs {
-		if o == org {
-			return row[i].SC.Total(), true
-		}
-	}
-	return 0, false
-}
-
-// Entry returns the full matrix entry of subpath [a..b] under org.
-func (m *Matrix) Entry(a, b int, org cost.Organization) (MatrixEntry, bool) {
-	row, ok := m.cells[[2]int{a, b}]
-	if !ok {
-		return MatrixEntry{}, false
-	}
-	for i, o := range m.Orgs {
-		if o == org {
-			return row[i], true
-		}
-	}
-	return MatrixEntry{}, false
-}
-
-// MinCost is the Min_Cost procedure: the cheapest organization for subpath
-// [a..b] and its cost (the underlined value in Figure 6). Ties break toward
-// the earlier organization in m.Orgs, i.e. the paper's column order.
-func (m *Matrix) MinCost(a, b int) (cost.Organization, float64) {
-	row := m.cells[[2]int{a, b}]
-	best, bestV := m.Orgs[0], row[0].SC.Total()
-	for i := 1; i < len(m.Orgs); i++ {
-		if v := row[i].SC.Total(); v < bestV {
-			best, bestV = m.Orgs[i], v
-		}
-	}
-	return best, bestV
-}
-
-// Rows returns all subpath bounds in the matrix, in the paper's order
-// (shorter starting positions first).
-func (m *Matrix) Rows() [][2]int {
-	out := make([][2]int, 0, len(m.cells))
-	for k := range m.cells {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
-}
-
 // SelectionStats reports the work done by a selection procedure.
 type SelectionStats struct {
 	// Evaluated counts complete configurations whose total cost was
@@ -224,80 +97,141 @@ type Result struct {
 	Stats SelectionStats
 }
 
+// maxStackPath is the longest path whose search scratch fits fixed-size
+// stack arrays; longer paths (whose 2^(n-1) search space would be
+// intractable anyway) fall back to heap-allocated scratch.
+const maxStackPath = 64
+
 // OptIndCon is the Opt_Ind_Con procedure of Section 5: branch-and-bound
 // over all recombinations of subpaths. It starts from the degree-1
 // configuration {P, minOrg(P)}, then recursively splits the trailing
 // subpath, abandoning any prefix whose accumulated cost already reaches
 // the best known total.
 func (m *Matrix) OptIndCon() Result {
+	var res Result
+	m.OptIndConInto(&res)
+	return res
+}
+
+// OptIndConInto is OptIndCon writing into res, reusing res's configuration
+// buffer. The search keeps the running prefix as a stack of subpath end
+// positions instead of copying assignment slices per node, so repeated
+// calls on a fixed matrix do not allocate.
+func (m *Matrix) OptIndConInto(res *Result) {
 	n := m.N
-	res := Result{Stats: SelectionStats{TotalConfigurations: 1 << (n - 1)}}
+	minVal, rowStart := m.minVal, m.rowStart
+	stats := SelectionStats{TotalConfigurations: 1 << (n - 1)}
 
 	// Degree-1 configuration.
-	org1, c1 := m.MinCost(1, n)
-	res.Best = Configuration{Assignments: []Assignment{{A: 1, B: n, Org: org1}}, Cost: c1}
-	res.Stats.Evaluated = 1
+	bestCost := minVal[rowStart[0]+n-1]
+	stats.Evaluated = 1
 
-	// explore considers configurations whose first subpath is [1..head]
-	// followed by a recombination of [head+1..n]; implemented as recursion
-	// on the remaining suffix with the accumulated prefix cost, mirroring
-	// the paper's successive splits.
-	var explore func(start int, prefix []Assignment, prefixCost float64)
-	explore = func(start int, prefix []Assignment, prefixCost float64) {
-		// Split the suffix [start..n] into a head [start..h] and rest.
-		for h := n - 1; h >= start; h-- {
-			org, c := m.MinCost(start, h)
-			if prefixCost+c >= res.Best.Cost {
-				// Bound: configurations containing this prefix+head cannot
-				// beat the best found so far (the paper prunes on >=).
-				res.Stats.Pruned++
-				continue
-			}
-			head := append(append([]Assignment(nil), prefix...), Assignment{A: start, B: h, Org: org})
-			// Close with the cheapest single index on the remainder.
-			orgR, cR := m.MinCost(h+1, n)
-			total := prefixCost + c + cR
-			res.Stats.Evaluated++
-			if total < res.Best.Cost {
-				res.Best = Configuration{
-					Assignments: append(append([]Assignment(nil), head...), Assignment{A: h + 1, B: n, Org: orgR}),
-					Cost:        total,
-				}
-			}
-			// Recurse: split the remainder further.
-			explore(h+1, head, prefixCost+c)
-		}
+	// ends[d] is the end level of the subpath chosen at depth d of the
+	// current prefix; best holds the end levels of the best configuration.
+	var endsBuf, bestBuf, startsBuf, hsBuf [maxStackPath]int
+	var pcostsBuf [maxStackPath]float64
+	ends, best, starts, hs, pcosts := endsBuf[:], bestBuf[:], startsBuf[:], hsBuf[:], pcostsBuf[:]
+	if n > maxStackPath {
+		ends, best = make([]int, n), make([]int, n)
+		starts, hs = make([]int, n), make([]int, n)
+		pcosts = make([]float64, n)
 	}
-	explore(1, nil, 0)
-	return res
+	best[0] = n
+	bestLen := 1
+
+	// Iterative depth-first traversal of the paper's recursion: the frame
+	// at depth d splits the suffix [starts[d]..n] at head end hs[d],
+	// carrying the accumulated prefix cost pcosts[d].
+	depth := 0
+	starts[0], pcosts[0], hs[0] = 1, 0, n-1
+	for depth >= 0 {
+		start, h := starts[depth], hs[depth]
+		if h < start {
+			depth--
+			continue
+		}
+		hs[depth]--
+		c := minVal[rowStart[start-1]+h-start]
+		pc := pcosts[depth]
+		if pc+c >= bestCost {
+			// Bound: configurations containing this prefix+head cannot
+			// beat the best found so far (the paper prunes on >=).
+			stats.Pruned++
+			continue
+		}
+		ends[depth] = h
+		// Close with the cheapest single index on the remainder [h+1..n].
+		total := pc + c + minVal[rowStart[h]+n-h-1]
+		stats.Evaluated++
+		if total < bestCost {
+			bestCost = total
+			copy(best[:depth+1], ends[:depth+1])
+			best[depth+1] = n
+			bestLen = depth + 2
+		}
+		// Recurse: split the remainder further.
+		depth++
+		starts[depth] = h + 1
+		pcosts[depth] = pc + c
+		hs[depth] = n - 1
+	}
+
+	asg := res.Best.Assignments[:0]
+	a := 1
+	for i := 0; i < bestLen; i++ {
+		b := best[i]
+		ti := rowStart[a-1] + b - a
+		asg = append(asg, Assignment{A: a, B: b, Org: m.Orgs[m.minCol[ti]]})
+		a = b + 1
+	}
+	res.Best = Configuration{Assignments: asg, Cost: bestCost}
+	res.Stats = stats
 }
 
 // Exhaustive enumerates all 2^(n-1) recombinations and returns the true
 // optimum. It is the paper's "compute the processing cost of all possible
 // recombinations" baseline.
 func (m *Matrix) Exhaustive() Result {
+	var res Result
+	m.ExhaustiveInto(&res)
+	return res
+}
+
+// ExhaustiveInto is Exhaustive writing into res, reusing res's
+// configuration buffer. Candidates are scored as split bitmasks and only
+// the winner is materialized, so the enumeration loop does not allocate.
+func (m *Matrix) ExhaustiveInto(res *Result) {
 	n := m.N
-	res := Result{Stats: SelectionStats{TotalConfigurations: 1 << (n - 1)}}
-	res.Best.Cost = math.Inf(1)
+	minVal, rowStart := m.minVal, m.rowStart
+	stats := SelectionStats{TotalConfigurations: 1 << (n - 1)}
+	bestCost := math.Inf(1)
+	bestMask := 0
 	for mask := 0; mask < 1<<(n-1); mask++ {
 		// Bit i set means a split between level i+1 and i+2.
-		var asg []Assignment
-		a := 1
 		var total float64
+		a := 1
 		for b := 1; b <= n; b++ {
 			if b == n || mask&(1<<(b-1)) != 0 {
-				org, c := m.MinCost(a, b)
-				asg = append(asg, Assignment{A: a, B: b, Org: org})
-				total += c
+				total += minVal[rowStart[a-1]+b-a]
 				a = b + 1
 			}
 		}
-		res.Stats.Evaluated++
-		if total < res.Best.Cost {
-			res.Best = Configuration{Assignments: asg, Cost: total}
+		stats.Evaluated++
+		if total < bestCost {
+			bestCost, bestMask = total, mask
 		}
 	}
-	return res
+	asg := res.Best.Assignments[:0]
+	a := 1
+	for b := 1; b <= n; b++ {
+		if b == n || bestMask&(1<<(b-1)) != 0 {
+			ti := rowStart[a-1] + b - a
+			asg = append(asg, Assignment{A: a, B: b, Org: m.Orgs[m.minCol[ti]]})
+			a = b + 1
+		}
+	}
+	res.Best = Configuration{Assignments: asg, Cost: bestCost}
+	res.Stats = stats
 }
 
 // DP computes the optimum with an O(n^2) dynamic program over prefixes:
@@ -305,27 +239,52 @@ func (m *Matrix) Exhaustive() Result {
 // (not in the paper) is provably optimal because subpath costs are
 // independent (Proposition 4.2), and cross-checks Opt_Ind_Con.
 func (m *Matrix) DP() Result {
+	var res Result
+	m.DPInto(&res)
+	return res
+}
+
+// DPInto is DP writing into res, reusing res's configuration buffer.
+func (m *Matrix) DPInto(res *Result) {
 	n := m.N
-	res := Result{Stats: SelectionStats{TotalConfigurations: 1 << (n - 1)}}
-	best := make([]float64, n+1)
-	choice := make([]Assignment, n+1)
+	minVal, rowStart := m.minVal, m.rowStart
+	stats := SelectionStats{TotalConfigurations: 1 << (n - 1)}
+	var bestBuf [maxStackPath + 1]float64
+	var fromBuf [maxStackPath + 1]int
+	best, from := bestBuf[:n+1], fromBuf[:n+1]
+	if n+1 > len(bestBuf) {
+		best, from = make([]float64, n+1), make([]int, n+1)
+	}
 	for b := 1; b <= n; b++ {
 		best[b] = math.Inf(1)
 		for a := 1; a <= b; a++ {
-			org, c := m.MinCost(a, b)
-			res.Stats.Evaluated++
+			c := minVal[rowStart[a-1]+b-a]
+			stats.Evaluated++
 			if v := best[a-1] + c; v < best[b] {
 				best[b] = v
-				choice[b] = Assignment{A: a, B: b, Org: org}
+				from[b] = a
 			}
 		}
 	}
-	var asg []Assignment
-	for b := n; b >= 1; b = choice[b].A - 1 {
-		asg = append([]Assignment{choice[b]}, asg...)
+	deg := 0
+	for b := n; b >= 1; b = from[b] - 1 {
+		deg++
+	}
+	asg := res.Best.Assignments[:0]
+	if cap(asg) < deg {
+		asg = make([]Assignment, deg)
+	} else {
+		asg = asg[:deg]
+	}
+	i := deg - 1
+	for b := n; b >= 1; b = from[b] - 1 {
+		a := from[b]
+		ti := rowStart[a-1] + b - a
+		asg[i] = Assignment{A: a, B: b, Org: m.Orgs[m.minCol[ti]]}
+		i--
 	}
 	res.Best = Configuration{Assignments: asg, Cost: best[n]}
-	return res
+	res.Stats = stats
 }
 
 // ConfigurationCost prices an explicit configuration against the matrix

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/model"
+)
+
+// MatrixEntry is one cell of the cost matrix: the processing cost of a
+// subpath under one organization, with its decomposition.
+type MatrixEntry struct {
+	SC cost.SubpathCost
+}
+
+// Matrix is the Cost_Matrix of Section 5: for every subpath [a..b]
+// (1-based) the processing cost under each organization.
+//
+// Storage is a dense upper-triangular array: subpath [a,b] lives at
+// triangular index rowStart[a-1]+(b-a), and the cells of one subpath are
+// contiguous, one per organization column. The per-subpath minimum
+// (Min_Cost) is precomputed at construction, so the selection procedures
+// never rescan a row.
+type Matrix struct {
+	N    int
+	Orgs []cost.Organization
+
+	rowStart []int         // rowStart[a-1] = triangular index of [a,a]
+	entries  []MatrixEntry // nsub*len(Orgs), grouped by subpath
+	totals   []float64     // entries[i].SC.Total(), cached
+	minCol   []uint16      // per subpath: column of the cheapest organization
+	minVal   []float64     // per subpath: its cost (the Min_Cost value)
+	cols     []int16       // organization value -> column, -1 when absent
+}
+
+// nsub returns the number of subpaths, n(n+1)/2.
+func (m *Matrix) nsub() int { return m.N * (m.N + 1) / 2 }
+
+// grow reuses s when its capacity suffices, else allocates; contents are
+// unspecified (callers overwrite every element).
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// reset dimensions the matrix for a path of length n over orgs, reusing
+// buffers from a previous use (the sync.Pool path of SelectBatch).
+func (m *Matrix) reset(n int, orgs []cost.Organization) {
+	m.N = n
+	m.Orgs = orgs
+	k := len(orgs)
+	nsub := n * (n + 1) / 2
+	m.rowStart = grow(m.rowStart, n)
+	start := 0
+	for a := 1; a <= n; a++ {
+		m.rowStart[a-1] = start
+		start += n - a + 1
+	}
+	m.entries = grow(m.entries, nsub*k)
+	m.totals = grow(m.totals, nsub*k)
+	m.minCol = grow(m.minCol, nsub)
+	m.minVal = grow(m.minVal, nsub)
+	maxOrg := 0
+	for _, o := range orgs {
+		if int(o) > maxOrg {
+			maxOrg = int(o)
+		}
+	}
+	m.cols = grow(m.cols, maxOrg+1)
+	for i := range m.cols {
+		m.cols[i] = -1
+	}
+	for i, o := range orgs {
+		m.cols[o] = int16(i)
+	}
+}
+
+// finalize caches per-cell totals and the per-subpath minimum. Ties break
+// toward the earlier organization in m.Orgs, i.e. the paper's column order.
+func (m *Matrix) finalize() {
+	k := len(m.Orgs)
+	for ti := 0; ti < m.nsub(); ti++ {
+		base := ti * k
+		bestCol := 0
+		bestV := m.entries[base].SC.Total()
+		m.totals[base] = bestV
+		for c := 1; c < k; c++ {
+			v := m.entries[base+c].SC.Total()
+			m.totals[base+c] = v
+			if v < bestV {
+				bestCol, bestV = c, v
+			}
+		}
+		m.minCol[ti] = uint16(bestCol)
+		m.minVal[ti] = bestV
+	}
+}
+
+// index returns the triangular index of subpath [a,b], or false when the
+// bounds are invalid.
+func (m *Matrix) index(a, b int) (int, bool) {
+	if a < 1 || b < a || b > m.N {
+		return 0, false
+	}
+	return m.rowStart[a-1] + b - a, true
+}
+
+// subpathAt inverts index: the (a,b) bounds of triangular index ti.
+func (m *Matrix) subpathAt(ti int) (a, b int) {
+	a = 1
+	for m.rowStart[a-1]+m.N-a < ti { // last index of row a
+		a++
+	}
+	return a, a + ti - m.rowStart[a-1]
+}
+
+// col resolves an organization to its column, -1 when absent.
+func (m *Matrix) col(org cost.Organization) int {
+	if org < 0 || int(org) >= len(m.cols) {
+		return -1
+	}
+	return int(m.cols[org])
+}
+
+// NewMatrixFromStats computes the full cost matrix of a path from its
+// statistics and workload. orgs defaults to the paper's {MX, MIX, NIX}.
+// Cells are independent and are computed by a bounded worker pool when the
+// matrix is large enough to amortize the goroutines.
+func NewMatrixFromStats(ps *model.PathStats, orgs []cost.Organization) (*Matrix, error) {
+	m := &Matrix{}
+	if err := m.buildFromStats(ps, orgs, Workers(ps.Len()*(ps.Len()+1)/2)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parallelMinCells is the matrix size (subpaths x organizations) below
+// which construction stays serial: goroutine startup would dominate.
+const parallelMinCells = 48
+
+// buildFromStats fills m from statistics, reusing m's buffers. Up to
+// maxWorkers goroutines compute the independent subpath cells (1 means
+// serial — used by callers that already parallelize across paths); each
+// worker forks the shared geometry memo so no locks are taken on the hot
+// path. Construction stays serial for matrices too small to amortize the
+// goroutines.
+func (m *Matrix) buildFromStats(ps *model.PathStats, orgs []cost.Organization, maxWorkers int) error {
+	if err := ps.Validate(); err != nil {
+		return err
+	}
+	if len(orgs) == 0 {
+		orgs = cost.Organizations
+	}
+	n := ps.Len()
+	m.reset(n, orgs)
+	sh := cost.NewShared(ps)
+	k := len(orgs)
+	nsub := m.nsub()
+
+	compute := func(ti int, sh *cost.Shared) error {
+		a, b := m.subpathAt(ti)
+		base := ti * k
+		for i, org := range orgs {
+			sc, err := cost.SubpathProcessingCostShared(ps, a, b, org, sh)
+			if err != nil {
+				return fmt.Errorf("core: subpath [%d,%d] %v: %w", a, b, org, err)
+			}
+			m.entries[base+i] = MatrixEntry{SC: sc}
+		}
+		return nil
+	}
+
+	workers := Workers(nsub)
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers < 2 || nsub*k < parallelMinCells {
+		for ti := 0; ti < nsub; ti++ {
+			if err := compute(ti, sh); err != nil {
+				return err
+			}
+		}
+	} else {
+		forks := make([]*cost.Shared, workers)
+		errs := make([]error, workers)
+		ParallelFor(nsub, workers, func(w, ti int) {
+			if errs[w] != nil {
+				return
+			}
+			if forks[w] == nil {
+				forks[w] = sh.Fork()
+			}
+			errs[w] = compute(ti, forks[w])
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	m.finalize()
+	return nil
+}
+
+// NewMatrixFromValues builds a matrix from explicit per-cell costs, as in
+// the hypothetical matrix of Figure 6. values maps [a,b] to a cost per
+// organization, ordered like orgs.
+func NewMatrixFromValues(n int, orgs []cost.Organization, values map[[2]int][]float64) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: path length %d", n)
+	}
+	if len(orgs) == 0 {
+		orgs = cost.Organizations
+	}
+	m := &Matrix{}
+	m.reset(n, orgs)
+	for a := 1; a <= n; a++ {
+		for b := a; b <= n; b++ {
+			vs, ok := values[[2]int{a, b}]
+			if !ok {
+				return nil, fmt.Errorf("core: missing costs for subpath [%d,%d]", a, b)
+			}
+			if len(vs) != len(orgs) {
+				return nil, fmt.Errorf("core: subpath [%d,%d] has %d costs for %d organizations", a, b, len(vs), len(orgs))
+			}
+			base := m.rowStart[a-1] + b - a
+			for i, v := range vs {
+				if v < 0 || math.IsNaN(v) {
+					return nil, fmt.Errorf("core: invalid cost %g for subpath [%d,%d]", v, a, b)
+				}
+				m.entries[base*len(orgs)+i] = MatrixEntry{SC: cost.SubpathCost{A: a, B: b, Org: orgs[i], Query: v}}
+			}
+		}
+	}
+	m.finalize()
+	return m, nil
+}
+
+// Cell returns the cost of subpath [a..b] under org.
+func (m *Matrix) Cell(a, b int, org cost.Organization) (float64, bool) {
+	ti, ok := m.index(a, b)
+	if !ok {
+		return 0, false
+	}
+	c := m.col(org)
+	if c < 0 {
+		return 0, false
+	}
+	return m.totals[ti*len(m.Orgs)+c], true
+}
+
+// Entry returns the full matrix entry of subpath [a..b] under org.
+func (m *Matrix) Entry(a, b int, org cost.Organization) (MatrixEntry, bool) {
+	ti, ok := m.index(a, b)
+	if !ok {
+		return MatrixEntry{}, false
+	}
+	c := m.col(org)
+	if c < 0 {
+		return MatrixEntry{}, false
+	}
+	return m.entries[ti*len(m.Orgs)+c], true
+}
+
+// MinCost is the Min_Cost procedure: the cheapest organization for subpath
+// [a..b] and its cost (the underlined value in Figure 6), precomputed at
+// construction. Ties break toward the earlier organization in m.Orgs, i.e.
+// the paper's column order.
+func (m *Matrix) MinCost(a, b int) (cost.Organization, float64) {
+	ti, ok := m.index(a, b)
+	if !ok {
+		panic(fmt.Sprintf("core: Min_Cost of invalid subpath [%d,%d] for path of length %d", a, b, m.N))
+	}
+	return m.Orgs[m.minCol[ti]], m.minVal[ti]
+}
+
+// Rows returns all subpath bounds in the matrix, in the paper's order
+// (shorter starting positions first).
+func (m *Matrix) Rows() [][2]int {
+	out := make([][2]int, 0, m.nsub())
+	for a := 1; a <= m.N; a++ {
+		for b := a; b <= m.N; b++ {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// matrixPool recycles matrix buffers across SelectBatch calls: the dense
+// entry, total and minimum arrays are reused whenever their capacity fits
+// the next path.
+var matrixPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// SelectBatch runs the full selection — Cost_Matrix, Min_Cost, Opt_Ind_Con
+// — for many paths concurrently, one worker per CPU, reusing pooled matrix
+// buffers across paths. Only the per-path results are returned; the
+// matrices are recycled, which makes repeated batches nearly allocation
+// free on the matrix side. The first error (in path order) is returned.
+func SelectBatch(pss []*model.PathStats, orgs []cost.Organization) ([]Result, error) {
+	if len(pss) == 0 {
+		return nil, fmt.Errorf("core: no paths given")
+	}
+	results := make([]Result, len(pss))
+	errs := make([]error, len(pss))
+	workers := Workers(len(pss))
+	budget := matrixWorkerBudget(workers)
+	ms := make([]*Matrix, workers)
+	ParallelFor(len(pss), workers, func(w, i int) {
+		if ms[w] == nil {
+			ms[w] = matrixPool.Get().(*Matrix)
+		}
+		if err := ms[w].buildFromStats(pss[i], orgs, budget); err != nil {
+			errs[i] = err
+			return
+		}
+		ms[w].OptIndConInto(&results[i])
+	})
+	for _, m := range ms {
+		if m != nil {
+			matrixPool.Put(m)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// matrixWorkerBudget splits the CPUs between path-level fan-out and
+// matrix-level construction: with fewer paths than cores, each path's
+// matrix build gets the spare cores; with many paths, builds stay serial
+// and the paths provide all the parallelism.
+func matrixWorkerBudget(pathWorkers int) int {
+	b := runtime.GOMAXPROCS(0) / pathWorkers
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// SelectEach runs the full selection for each path concurrently — like
+// SelectBatch, but returning the per-path matrices for callers that need
+// the cells afterwards (e.g. the multi-path sharing planner), at the cost
+// of allocating one matrix per path instead of recycling pooled buffers.
+// errs runs parallel to pss; a failed path has a nil matrix.
+func SelectEach(pss []*model.PathStats, orgs []cost.Organization) (results []Result, ms []*Matrix, errs []error) {
+	n := len(pss)
+	results, ms, errs = make([]Result, n), make([]*Matrix, n), make([]error, n)
+	workers := Workers(n)
+	budget := matrixWorkerBudget(workers)
+	ParallelFor(n, workers, func(_, i int) {
+		m := &Matrix{}
+		if err := m.buildFromStats(pss[i], orgs, budget); err != nil {
+			errs[i] = err
+			return
+		}
+		m.OptIndConInto(&results[i])
+		ms[i] = m
+	})
+	return results, ms, errs
+}

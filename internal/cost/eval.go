@@ -81,6 +81,13 @@ type Evaluator struct {
 	B   int // last level of the subpath
 	Org Organization
 
+	// sh, when non-nil, supplies memoized per-level geometry, noid chains
+	// and Yao evaluations shared across the evaluators of one path.
+	sh *Shared
+	// extG caches the PX/NX structure geometry, which depends only on the
+	// subpath bounds and is otherwise re-derived per priced operation.
+	extG *Geom
+
 	// MX: one geometry per class per level (indexed [level-A][classIdx]).
 	mxGeom [][]*Geom
 	// MIX: one geometry per level.
@@ -98,6 +105,18 @@ type Evaluator struct {
 
 // NewEvaluator builds an evaluator for subpath [a..b] of ps under org.
 func NewEvaluator(ps *model.PathStats, a, b int, org Organization) (*Evaluator, error) {
+	return newEvaluator(ps, a, b, org, nil)
+}
+
+// NewEvaluatorShared is NewEvaluator drawing the per-level geometry and
+// noid chains from sh instead of re-deriving them, and routing the Yao
+// evaluations through sh's memo. sh must have been built from the same
+// (validated) statistics; results are bit-identical to NewEvaluator's.
+func NewEvaluatorShared(ps *model.PathStats, a, b int, org Organization, sh *Shared) (*Evaluator, error) {
+	return newEvaluator(ps, a, b, org, sh)
+}
+
+func newEvaluator(ps *model.PathStats, a, b int, org Organization, sh *Shared) (*Evaluator, error) {
 	if ps == nil {
 		return nil, fmt.Errorf("cost: nil path stats")
 	}
@@ -105,50 +124,37 @@ func NewEvaluator(ps *model.PathStats, a, b int, org Organization) (*Evaluator, 
 	if a < 1 || b > n || a > b {
 		return nil, fmt.Errorf("cost: invalid subpath [%d,%d] for path of length %d", a, b, n)
 	}
-	e := &Evaluator{PS: ps, A: a, B: b, Org: org}
+	e := &Evaluator{PS: ps, A: a, B: b, Org: org, sh: sh}
 	p := ps.Params
 	page := float64(p.PageSize)
 	entry := float64(p.KeyLen + p.PtrLen)
 
-	// Within-subpath noid chain: noidS*_{b+1} = 1.
-	e.noidS = make([][]float64, b-a+1)
-	star := 1.0
-	for l := b; l >= a; l-- {
-		ls := ps.Level(l)
-		row := make([]float64, ls.NC())
-		for x, c := range ls.Classes {
-			row[x] = c.K() * star
-		}
-		e.noidS[l-a] = row
-		star *= ls.KStar()
+	// Within-subpath noid chain: noidS*_{b+1} = 1. The shared chain for
+	// ending level b holds the same rows for levels a..b.
+	if sh != nil {
+		e.noidS = sh.noid[b-1][a-1:]
+	} else {
+		e.noidS = noidChain(ps, a, b)
 	}
 
 	switch org {
 	case MX:
+		if sh != nil {
+			e.mxGeom = sh.mx[a-1 : b]
+			break
+		}
 		e.mxGeom = make([][]*Geom, b-a+1)
 		for l := a; l <= b; l++ {
-			ls := ps.Level(l)
-			row := make([]*Geom, ls.NC())
-			for x, c := range ls.Classes {
-				ln := float64(p.RecHeader) + c.K()*float64(p.OidLen)
-				row[x] = mustGeom(c.D, ln, page, entry)
-			}
-			e.mxGeom[l-a] = row
+			e.mxGeom[l-a] = mxGeomsAt(ps, l)
 		}
 	case MIX:
+		if sh != nil {
+			e.mixGeom = sh.mix[a-1 : b]
+			break
+		}
 		e.mixGeom = make([]*Geom, b-a+1)
 		for l := a; l <= b; l++ {
-			ls := ps.Level(l)
-			nk := ls.DMax()
-			var entries float64
-			for _, c := range ls.Classes {
-				entries += c.N * c.NIN
-			}
-			ln := float64(p.RecHeader)
-			if nk > 0 {
-				ln += entries / nk * float64(p.OidLen)
-			}
-			e.mixGeom[l-a] = mustGeom(nk, ln, page, entry)
+			e.mixGeom[l-a] = mixGeomAt(ps, l)
 		}
 	case NIX:
 		// Primary index: keyed by values of A_B across the ending hierarchy.
@@ -193,8 +199,8 @@ func NewEvaluator(ps *model.PathStats, a, b int, org Organization) (*Evaluator, 
 	case NONE:
 		// No structures.
 	case PX, NX:
-		// Geometry derived on demand by extGeom; validate it now so
-		// construction fails fast on bad inputs.
+		// Build (and cache) the structure geometry now so construction
+		// fails fast on bad inputs.
 		if _, err := e.extGeom(); err != nil {
 			return nil, err
 		}
@@ -221,7 +227,41 @@ func (e *Evaluator) ninBarS(l int) float64 {
 // feed returns the number of key values probed at global level i's index:
 // the global noid*_{i+1} chain (1 for the path's ending attribute).
 func (e *Evaluator) feed(i int) float64 {
+	if e.sh != nil {
+		return e.sh.noidStar[i+1]
+	}
 	return e.PS.NoidStar(i + 1)
+}
+
+// crt, cmt, crr and yao evaluate the Section 3.1 cost functions through
+// the shared memo when one is attached; identical arguments are computed
+// once per path instead of once per subpath.
+func (e *Evaluator) crt(g *Geom, t, pr float64) float64 {
+	if e.sh != nil {
+		return e.sh.crt(g, t, pr)
+	}
+	return CRT(g, t, pr)
+}
+
+func (e *Evaluator) cmt(g *Geom, t, pm float64) float64 {
+	if e.sh != nil {
+		return e.sh.cmt(g, t, pm)
+	}
+	return CMT(g, t, pm)
+}
+
+func (e *Evaluator) crr(t float64, aux *Geom) float64 {
+	if e.sh != nil {
+		return e.sh.crr(t, aux)
+	}
+	return CRR(t, aux)
+}
+
+func (e *Evaluator) yao(t, n, m float64) float64 {
+	if e.sh != nil {
+		return e.sh.yao(t, n, m)
+	}
+	return Yao(t, n, m)
 }
 
 // classIdx resolves a class name within level l.
@@ -250,22 +290,22 @@ func (e *Evaluator) Query(l int, class string) (float64, error) {
 	case MX:
 		// Probe the class's own index at level l, then every class's index
 		// at deeper levels l+1..B.
-		s := CRT(e.mxGeom[l-e.A][x], e.feed(l), 0)
+		s := e.crt(e.mxGeom[l-e.A][x], e.feed(l), 0)
 		for i := l + 1; i <= e.B; i++ {
 			for j := range e.PS.Level(i).Classes {
-				s += CRT(e.mxGeom[i-e.A][j], e.feed(i), 0)
+				s += e.crt(e.mxGeom[i-e.A][j], e.feed(i), 0)
 			}
 		}
 		return s, nil
 	case MIX:
 		var s float64
 		for i := l; i <= e.B; i++ {
-			s += CRT(e.mixGeom[i-e.A], e.feed(i), 0)
+			s += e.crt(e.mixGeom[i-e.A], e.feed(i), 0)
 		}
 		return s, nil
 	case NIX:
 		pr := e.nixPR([][2]int{{l, x}})
-		return CRT(e.nixPrimary, e.feed(e.B), pr), nil
+		return e.crt(e.nixPrimary, e.feed(e.B), pr), nil
 	case PX, NX:
 		return e.extQuery(l, false)
 	case NONE:
@@ -285,11 +325,11 @@ func (e *Evaluator) QueryHierarchy(l int) (float64, error) {
 	case MX:
 		var s float64
 		for j := range e.PS.Level(l).Classes {
-			s += CRT(e.mxGeom[l-e.A][j], e.feed(l), 0)
+			s += e.crt(e.mxGeom[l-e.A][j], e.feed(l), 0)
 		}
 		for i := l + 1; i <= e.B; i++ {
 			for j := range e.PS.Level(i).Classes {
-				s += CRT(e.mxGeom[i-e.A][j], e.feed(i), 0)
+				s += e.crt(e.mxGeom[i-e.A][j], e.feed(i), 0)
 			}
 		}
 		return s, nil
@@ -297,7 +337,7 @@ func (e *Evaluator) QueryHierarchy(l int) (float64, error) {
 		// The hierarchy-wide index returns all classes' OIDs in one lookup.
 		var s float64
 		for i := l; i <= e.B; i++ {
-			s += CRT(e.mixGeom[i-e.A], e.feed(i), 0)
+			s += e.crt(e.mixGeom[i-e.A], e.feed(i), 0)
 		}
 		return s, nil
 	case NIX:
@@ -306,7 +346,7 @@ func (e *Evaluator) QueryHierarchy(l int) (float64, error) {
 			secs = append(secs, [2]int{l, j})
 		}
 		pr := e.nixPR(secs)
-		return CRT(e.nixPrimary, e.feed(e.B), pr), nil
+		return e.crt(e.nixPrimary, e.feed(e.B), pr), nil
 	case PX, NX:
 		return e.extQuery(l, true)
 	case NONE:
@@ -380,7 +420,7 @@ func (e *Evaluator) maintain(l int, class string, del bool) (float64, error) {
 	cs := e.PS.Level(l).Classes[x]
 	switch e.Org {
 	case MX:
-		s := CMT(e.mxGeom[l-e.A][x], cs.NIN, 0)
+		s := e.cmt(e.mxGeom[l-e.A][x], cs.NIN, 0)
 		if del && l > e.A {
 			// Deletion also removes the object's OID as a key of the
 			// indexes on the previous level (within the subpath).
@@ -390,7 +430,7 @@ func (e *Evaluator) maintain(l int, class string, del bool) (float64, error) {
 		}
 		return s, nil
 	case MIX:
-		s := CMT(e.mixGeom[l-e.A], cs.NIN, 0)
+		s := e.cmt(e.mixGeom[l-e.A], cs.NIN, 0)
 		if del && l > e.A {
 			s += CML(e.mixGeom[l-1-e.A], 0)
 		}
@@ -422,11 +462,11 @@ func (e *Evaluator) nixInsert(l, x int, cs model.ClassStats) float64 {
 	}
 	csi24 := 0.0
 	if t := childAccess; t > 0 {
-		csi24 += CRT(e.nixAux, t, 1)
+		csi24 += e.crt(e.nixAux, t, 1)
 	}
-	csi24 += CRR(childNar+ownAux, e.nixAux)
+	csi24 += e.crr(childNar+ownAux, e.nixAux)
 	// CSI3: modify the primary records reachable from the new object.
-	csi3 := CMT(e.nixPrimary, e.ninBarS(l), e.nixPMI(l, x))
+	csi3 := e.cmt(e.nixPrimary, e.ninBarS(l), e.nixPMI(l, x))
 	return csi24 + csi3
 }
 
@@ -445,12 +485,12 @@ func (e *Evaluator) nixDelete(l, x int, cs model.ClassStats) float64 {
 	// Step 2: access the children's 3-tuples and the object's own, rewrite.
 	csd2 := 0.0
 	if t := childAccess + ownAux; t > 0 {
-		csd2 += CRT(e.nixAux, t, 1)
+		csd2 += e.crt(e.nixAux, t, 1)
 	}
-	csd2 += CRR(childNar+ownAux, e.nixAux)
+	csd2 += e.crr(childNar+ownAux, e.nixAux)
 
 	// Step 3a: modify the primary records containing the object.
-	cs3a := CMT(e.nixPrimary, e.ninBarS(l), e.nixPMD(l, x))
+	cs3a := e.cmt(e.nixPrimary, e.ninBarS(l), e.nixPMD(l, x))
 
 	// Steps 3b/3c: propagate through ancestor 3-tuples at levels A+1..l-1.
 	var cu3bc, parSum, narpSum float64
@@ -462,16 +502,16 @@ func (e *Evaluator) nixDelete(l, x int, cs model.ClassStats) float64 {
 			sizes[j] = c.N
 		}
 		narp := model.ExpectedNonEmpty(par, sizes)
-		cu3bc += CRR(narp, e.nixAux)
+		cu3bc += e.crr(narp, e.nixAux)
 		parSum += par
 		narpSum += narp
 	}
 	var saCost float64
 	if parSum > 0 {
-		sa1 := Yao(parSum, e.nixAux.NK, e.nixAux.LeafPages)
+		sa1 := e.yao(parSum, e.nixAux.NK, e.nixAux.LeafPages)
 		var sa2 float64
 		if !e.nixAux.MultiPage() {
-			sa2 = Yao(narpSum, e.nixAux.NK, e.nixAux.LeafPages)
+			sa2 = e.yao(narpSum, e.nixAux.NK, e.nixAux.LeafPages)
 		} else {
 			sa2 = narpSum * e.nixAux.RecordPages()
 		}
@@ -552,7 +592,7 @@ func (e *Evaluator) CMD() float64 {
 		}
 		if tt > 0 {
 			if !e.nixAux.MultiPage() {
-				s += Yao(tt, e.nixAux.NK, e.nixAux.LeafPages)
+				s += e.yao(tt, e.nixAux.NK, e.nixAux.LeafPages)
 			} else {
 				s += tt * e.nixAux.RecordPages()
 			}

@@ -41,9 +41,22 @@ const (
 // Section 6 incorporations and the no-index option.
 var OrganizationsExtended = []Organization{MX, MIX, NIX, PX, NX, NONE}
 
-// extGeom builds the geometry of the PX or NX structure for the evaluator's
-// subpath.
+// extGeom returns the geometry of the PX or NX structure for the
+// evaluator's subpath, building it on first use and caching it: every
+// priced operation needs it, and it depends only on the subpath bounds.
 func (e *Evaluator) extGeom() (*Geom, error) {
+	if e.extG != nil {
+		return e.extG, nil
+	}
+	g, err := e.buildExtGeom()
+	if err == nil {
+		e.extG = g
+	}
+	return g, err
+}
+
+// buildExtGeom derives the PX/NX structure geometry.
+func (e *Evaluator) buildExtGeom() (*Geom, error) {
 	p := e.PS.Params
 	page := float64(p.PageSize)
 	entry := float64(p.KeyLen + p.PtrLen)
@@ -115,14 +128,14 @@ func (e *Evaluator) extQuery(l int, hierarchy bool) (float64, error) {
 	switch e.Org {
 	case NX:
 		if l == e.A {
-			return CRT(g, t, 0), nil
+			return e.crt(g, t, 0), nil
 		}
 		// The structure cannot answer inner-class queries: evaluate by
 		// scanning from level l (the NONE behaviour for that slice).
 		return e.scanCost(l), nil
 	case PX:
 		// Whole records must be read (no class directory).
-		return CRT(g, t, g.RecordPages()), nil
+		return e.crt(g, t, g.RecordPages()), nil
 	}
 	return 0, fmt.Errorf("cost: extQuery on %v", e.Org)
 }
@@ -140,18 +153,18 @@ func (e *Evaluator) extMaintain(l int, nin float64, del bool) (float64, error) {
 		if l == e.A {
 			// The object's own keys are found by forward navigation; the
 			// records are then maintained directly.
-			return e.navDownPages(l) + CMT(g, keys, 1), nil
+			return e.navDownPages(l) + e.cmt(g, keys, 1), nil
 		}
 		// Inner-level update: the affected starting objects can only be
 		// found by scanning the preceding hierarchies (no auxiliary
 		// index), then re-evaluating their membership.
-		return e.scanLevelsPages(e.A, l-1) + e.navDownPages(l) + CMT(g, keys, 1), nil
+		return e.scanLevelsPages(e.A, l-1) + e.navDownPages(l) + e.cmt(g, keys, 1), nil
 	case PX:
 		// Forward navigation from the object yields the affected keys;
 		// each record is rewritten (instantiations added/removed). Whole
 		// records are touched: pm = record pages.
 		pm := g.RecordPages()
-		cost := e.navDownPages(l) + CMT(g, keys, pm)
+		cost := e.navDownPages(l) + e.cmt(g, keys, pm)
 		if del {
 			// Deleting an inner object also invalidates the instantiations
 			// of its ancestors through it; those live in the same records

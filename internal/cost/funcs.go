@@ -39,12 +39,23 @@ func CML(g *Geom, pm float64) float64 {
 	return h - 1 + pm
 }
 
+// maxTreeHeight bounds the levels of any practical B+-tree geometry (a
+// height-16 tree with fan-out 2 already outgrows any float64-countable
+// record set); traversal scratch of this size lives on the stack.
+const maxTreeHeight = 16
+
 // traversal computes the per-level probe counts for retrieving t records:
 // t_h = t at the leaf/record level and t_{k-1} = npa(t_k, n_k, p_k) going
-// up, returning the per-level page accesses root-first.
-func traversal(g *Geom, t float64) []float64 {
+// up, filling buf (resized, heap-allocated only for implausibly tall
+// trees) with the per-level page accesses root-first.
+func traversal(g *Geom, t float64, buf *[maxTreeHeight]float64) []float64 {
 	h := g.Height()
-	acc := make([]float64, h)
+	var acc []float64
+	if h <= len(buf) {
+		acc = buf[:h]
+	} else {
+		acc = make([]float64, h)
+	}
 	tk := t
 	for k := h - 1; k >= 0; k-- {
 		lv := g.Levels[k]
@@ -72,7 +83,8 @@ func CRT(g *Geom, t, pr float64) float64 {
 	if t > g.NK && g.NK > 0 {
 		t = g.NK
 	}
-	acc := traversal(g, t)
+	var buf [maxTreeHeight]float64
+	acc := traversal(g, t, &buf)
 	if !g.MultiPage() {
 		var s float64
 		for _, a := range acc {
@@ -105,7 +117,8 @@ func CMT(g *Geom, t, pm float64) float64 {
 	if t > g.NK && g.NK > 0 {
 		t = g.NK
 	}
-	acc := traversal(g, t)
+	var buf [maxTreeHeight]float64
+	acc := traversal(g, t, &buf)
 	if !g.MultiPage() {
 		var s float64
 		for _, a := range acc {

@@ -117,3 +117,13 @@ func SubpathProcessingCost(ps *model.PathStats, a, b int, org Organization) (Sub
 	}
 	return ProcessingCost(e)
 }
+
+// SubpathProcessingCostShared is SubpathProcessingCost through a Shared
+// memo (see NewShared); results are bit-identical to the unshared path.
+func SubpathProcessingCostShared(ps *model.PathStats, a, b int, org Organization, sh *Shared) (SubpathCost, error) {
+	e, err := NewEvaluatorShared(ps, a, b, org, sh)
+	if err != nil {
+		return SubpathCost{}, err
+	}
+	return ProcessingCost(e)
+}

@@ -40,22 +40,22 @@ func (e *Evaluator) QueryRange(l int, class string, sel float64) (float64, error
 	}
 	switch e.Org {
 	case MX:
-		s := CRT(e.mxGeom[l-e.A][x], keys*e.feed(l), 0)
+		s := e.crt(e.mxGeom[l-e.A][x], keys*e.feed(l), 0)
 		for i := l + 1; i <= e.B; i++ {
 			for j := range e.PS.Level(i).Classes {
-				s += CRT(e.mxGeom[i-e.A][j], keys*e.feed(i), 0)
+				s += e.crt(e.mxGeom[i-e.A][j], keys*e.feed(i), 0)
 			}
 		}
 		return s, nil
 	case MIX:
 		var s float64
 		for i := l; i <= e.B; i++ {
-			s += CRT(e.mixGeom[i-e.A], keys*e.feed(i), 0)
+			s += e.crt(e.mixGeom[i-e.A], keys*e.feed(i), 0)
 		}
 		return s, nil
 	case NIX:
 		pr := e.nixPR([][2]int{{l, x}})
-		return CRT(e.nixPrimary, keys*e.feed(e.B), pr), nil
+		return e.crt(e.nixPrimary, keys*e.feed(e.B), pr), nil
 	case PX, NX:
 		return e.extQueryRange(l, keys)
 	case NONE:
@@ -78,18 +78,18 @@ func (e *Evaluator) QueryRangeHierarchy(l int, sel float64) (float64, error) {
 	case MX:
 		var s float64
 		for j := range e.PS.Level(l).Classes {
-			s += CRT(e.mxGeom[l-e.A][j], keys*e.feed(l), 0)
+			s += e.crt(e.mxGeom[l-e.A][j], keys*e.feed(l), 0)
 		}
 		for i := l + 1; i <= e.B; i++ {
 			for j := range e.PS.Level(i).Classes {
-				s += CRT(e.mxGeom[i-e.A][j], keys*e.feed(i), 0)
+				s += e.crt(e.mxGeom[i-e.A][j], keys*e.feed(i), 0)
 			}
 		}
 		return s, nil
 	case MIX:
 		var s float64
 		for i := l; i <= e.B; i++ {
-			s += CRT(e.mixGeom[i-e.A], keys*e.feed(i), 0)
+			s += e.crt(e.mixGeom[i-e.A], keys*e.feed(i), 0)
 		}
 		return s, nil
 	case NIX:
@@ -98,7 +98,7 @@ func (e *Evaluator) QueryRangeHierarchy(l int, sel float64) (float64, error) {
 			secs = append(secs, [2]int{l, j})
 		}
 		pr := e.nixPR(secs)
-		return CRT(e.nixPrimary, keys*e.feed(e.B), pr), nil
+		return e.crt(e.nixPrimary, keys*e.feed(e.B), pr), nil
 	case PX, NX:
 		return e.extQueryRange(l, keys)
 	case NONE:
@@ -117,11 +117,11 @@ func (e *Evaluator) extQueryRange(l int, keys float64) (float64, error) {
 	switch e.Org {
 	case NX:
 		if l == e.A {
-			return CRT(g, t, 0), nil
+			return e.crt(g, t, 0), nil
 		}
 		return e.scanCost(l), nil
 	case PX:
-		return CRT(g, t, g.RecordPages()), nil
+		return e.crt(g, t, g.RecordPages()), nil
 	}
 	return 0, fmt.Errorf("cost: extQueryRange on %v", e.Org)
 }

@@ -1,0 +1,190 @@
+package cost
+
+import "repro/internal/model"
+
+// Shared memoizes the per-level quantities that every subpath evaluator of
+// one path re-derives: the MX and MIX index geometries (which depend only
+// on the level's statistics, not on the subpath bounds), the within-subpath
+// noid chains (which depend only on the subpath's ending level), the global
+// noid* feed values, and the Yao-formula evaluations behind CRT/CMT/CRR.
+// Building the cost matrix of a path of length n constructs n(n+1)/2
+// evaluators; with a Shared attached, the geometry work is done once per
+// level instead of once per subpath, and identical Yao traversals are
+// looked up instead of recomputed.
+//
+// The memoized values are produced by exactly the same computations the
+// unshared evaluator performs, in the same order, so shared and unshared
+// evaluations are bit-identical (the equivalence tests in internal/core
+// rely on this).
+//
+// The geometry and chain tables are immutable after NewShared; the memo
+// maps are not synchronized. A Shared must therefore be used by one
+// goroutine at a time — concurrent workers each take a Fork, which shares
+// the immutable tables but carries private memo maps.
+type Shared struct {
+	ps *model.PathStats
+
+	mx       [][]*Geom   // [l-1][classIdx]: per-class MX geometry at level l
+	mix      []*Geom     // [l-1]: MIX geometry at level l
+	noid     [][][]float64 // [b-1][l-1][classIdx]: noidS chain computed from ending level b
+	noidStar []float64   // [l]: noid*_l for l in 1..n+1
+
+	memo    map[memoKey]float64    // CRT/CMT/CRR results
+	yaoMemo map[[3]float64]float64 // raw Yao(t, n, m) results
+}
+
+// memo kinds; part of the memo key so one map serves all three functions.
+const (
+	kindCRT = iota
+	kindCMT
+	kindCRR
+)
+
+type memoKey struct {
+	g    *Geom
+	t, x float64 // x is pr (CRT), pm (CMT) or unused (CRR)
+	kind uint8
+}
+
+// mxGeomsAt builds the per-class MX index geometries of level l: one
+// index per class of the hierarchy, keyed by the class's own values.
+// Single source for the shared table and the per-evaluator construction.
+func mxGeomsAt(ps *model.PathStats, l int) []*Geom {
+	p := ps.Params
+	page := float64(p.PageSize)
+	entry := float64(p.KeyLen + p.PtrLen)
+	ls := ps.Level(l)
+	row := make([]*Geom, ls.NC())
+	for x, c := range ls.Classes {
+		ln := float64(p.RecHeader) + c.K()*float64(p.OidLen)
+		row[x] = mustGeom(c.D, ln, page, entry)
+	}
+	return row
+}
+
+// mixGeomAt builds the hierarchy-wide MIX index geometry of level l.
+func mixGeomAt(ps *model.PathStats, l int) *Geom {
+	p := ps.Params
+	ls := ps.Level(l)
+	nk := ls.DMax()
+	var entries float64
+	for _, c := range ls.Classes {
+		entries += c.N * c.NIN
+	}
+	ln := float64(p.RecHeader)
+	if nk > 0 {
+		ln += entries / nk * float64(p.OidLen)
+	}
+	return mustGeom(nk, ln, float64(p.PageSize), float64(p.KeyLen+p.PtrLen))
+}
+
+// noidChain builds the within-subpath noid rows for levels lo..b of the
+// chain ending at level b (noidS*_{b+1} = 1), indexed [l-lo][classIdx].
+// The multiplication runs from b downward, so for a fixed b any lo yields
+// a suffix of the same (bit-identical) values.
+func noidChain(ps *model.PathStats, lo, b int) [][]float64 {
+	rows := make([][]float64, b-lo+1)
+	star := 1.0
+	for l := b; l >= lo; l-- {
+		ls := ps.Level(l)
+		row := make([]float64, ls.NC())
+		for x, c := range ls.Classes {
+			row[x] = c.K() * star
+		}
+		rows[l-lo] = row
+		star *= ls.KStar()
+	}
+	return rows
+}
+
+// NewShared precomputes the shared tables for ps. The statistics must have
+// been validated (geometry construction panics on invalid inputs, exactly
+// like the per-evaluator construction it replaces).
+func NewShared(ps *model.PathStats) *Shared {
+	n := ps.Len()
+	sh := &Shared{
+		ps:      ps,
+		mx:      make([][]*Geom, n),
+		mix:     make([]*Geom, n),
+		noid:    make([][][]float64, n),
+		memo:    make(map[memoKey]float64),
+		yaoMemo: make(map[[3]float64]float64),
+	}
+	for l := 1; l <= n; l++ {
+		sh.mx[l-1] = mxGeomsAt(ps, l)
+		sh.mix[l-1] = mixGeomAt(ps, l)
+	}
+	// Within-subpath noid chains: the chain for ending level b covers
+	// levels 1..b; a subpath [a,b] uses its suffix starting at level a.
+	for b := 1; b <= n; b++ {
+		sh.noid[b-1] = noidChain(ps, 1, b)
+	}
+	// Global noid* chain, multiplied from level n downward like
+	// model.PathStats.NoidStar.
+	sh.noidStar = make([]float64, n+2)
+	sh.noidStar[n+1] = 1
+	v := 1.0
+	for l := n; l >= 1; l-- {
+		v *= ps.Level(l).KStar()
+		sh.noidStar[l] = v
+	}
+	return sh
+}
+
+// Fork returns a view sharing the immutable geometry and chain tables but
+// carrying private memo maps, for use by one worker goroutine.
+func (sh *Shared) Fork() *Shared {
+	return &Shared{
+		ps:       sh.ps,
+		mx:       sh.mx,
+		mix:      sh.mix,
+		noid:     sh.noid,
+		noidStar: sh.noidStar,
+		memo:     make(map[memoKey]float64),
+		yaoMemo:  make(map[[3]float64]float64),
+	}
+}
+
+// crt is CRT through the memo.
+func (sh *Shared) crt(g *Geom, t, pr float64) float64 {
+	k := memoKey{g: g, t: t, x: pr, kind: kindCRT}
+	if v, ok := sh.memo[k]; ok {
+		return v
+	}
+	v := CRT(g, t, pr)
+	sh.memo[k] = v
+	return v
+}
+
+// cmt is CMT through the memo.
+func (sh *Shared) cmt(g *Geom, t, pm float64) float64 {
+	k := memoKey{g: g, t: t, x: pm, kind: kindCMT}
+	if v, ok := sh.memo[k]; ok {
+		return v
+	}
+	v := CMT(g, t, pm)
+	sh.memo[k] = v
+	return v
+}
+
+// crr is CRR through the memo.
+func (sh *Shared) crr(t float64, aux *Geom) float64 {
+	k := memoKey{g: aux, t: t, kind: kindCRR}
+	if v, ok := sh.memo[k]; ok {
+		return v
+	}
+	v := CRR(t, aux)
+	sh.memo[k] = v
+	return v
+}
+
+// yao is Yao through the memo.
+func (sh *Shared) yao(t, n, m float64) float64 {
+	k := [3]float64{t, n, m}
+	if v, ok := sh.yaoMemo[k]; ok {
+		return v
+	}
+	v := Yao(t, n, m)
+	sh.yaoMemo[k] = v
+	return v
+}

@@ -9,6 +9,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/index"
@@ -133,16 +134,47 @@ func NewConfigured(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageS
 			c.levelOwner[l-1] = i
 		}
 	}
-	// Bulk load, deepest level first.
-	for l := p.Len(); l >= 1; l-- {
-		ix := c.Indexes[c.levelOwner[l-1]]
-		for _, cn := range p.HierarchyAt(l) {
-			for _, oid := range st.OIDsOfClass(cn) {
-				obj, _ := st.Peek(oid)
-				if err := ix.OnInsert(obj); err != nil {
-					return nil, fmt.Errorf("exec: loading %s: %w", cn, err)
+	// Bulk load, deepest level first within each index (the order NIX
+	// maintenance relies on). Each index owns a disjoint level range and
+	// a dedicated pager, so the indexes load concurrently. Store access
+	// is read-only: Peek does not count page accesses; PX additionally
+	// reads objects through the store's pager, whose atomic counters and
+	// locked buffer bookkeeping make concurrent counting safe (and, with
+	// the store's unbuffered pager, deterministic in total).
+	load := func(i int) error {
+		asg := cfg.Assignments[i]
+		ix := c.Indexes[i]
+		for l := asg.B; l >= asg.A; l-- {
+			for _, cn := range p.HierarchyAt(l) {
+				for _, oid := range st.OIDsOfClass(cn) {
+					obj, _ := st.Peek(oid)
+					if err := ix.OnInsert(obj); err != nil {
+						return fmt.Errorf("exec: loading %s: %w", cn, err)
+					}
 				}
 			}
+		}
+		return nil
+	}
+	if len(c.Indexes) == 1 {
+		if err := load(0); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	errs := make([]error, len(c.Indexes))
+	var wg sync.WaitGroup
+	for i := range c.Indexes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = load(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return c, nil

@@ -9,6 +9,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page. Zero is never a valid page.
@@ -34,21 +35,41 @@ type Stats struct {
 // Accesses returns reads+writes, the paper's page-access metric.
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
 
+// lruNode is one entry of the buffer pool's intrusive recency list.
+type lruNode struct {
+	prev, next *lruNode
+	id         PageID
+}
+
 // Pager allocates, reads and writes pages, counting every access. With a
 // buffer pool of capacity c > 0, reads of resident pages are hits and do
 // not count; c == 0 models the paper's cost convention in which every
 // record access is a page access.
+//
+// Locking is split three ways so that concurrent readers do not serialize
+// on bookkeeping: the page table takes an RWMutex (reads share it), the
+// counters are atomics (no lock at all), and only the LRU recency list —
+// which every buffered access genuinely mutates — takes a mutex, with all
+// list operations O(1) via an intrusive doubly-linked list plus a
+// residency map. The page-table lock is held across the LRU update
+// (lock order: mu, then lruMu) so a concurrent Free cannot interleave
+// between a page's existence check and its touch and leave a freed page
+// resident.
 type Pager struct {
-	mu       sync.Mutex
 	pageSize int
-	pages    map[PageID]*Page
-	next     PageID
-	stats    Stats
 
-	// LRU buffer pool.
+	mu    sync.RWMutex // guards pages and next
+	pages map[PageID]*Page
+	next  PageID
+
+	reads, writes, allocs, frees, hits atomic.Uint64
+
+	// LRU buffer pool; lruMu guards nodes and the list.
 	capacity int
-	lru      []PageID // front = most recent
-	resident map[PageID]bool
+	lruMu    sync.Mutex
+	nodes    map[PageID]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used, evicted first
 }
 
 // NewPager returns a pager with the given page size and buffer-pool
@@ -65,7 +86,7 @@ func NewPager(pageSize, capacity int) (*Pager, error) {
 		pages:    make(map[PageID]*Page),
 		next:     1,
 		capacity: capacity,
-		resident: make(map[PageID]bool),
+		nodes:    make(map[PageID]*lruNode),
 	}, nil
 }
 
@@ -84,40 +105,46 @@ func (p *Pager) PageSize() int { return p.pageSize }
 // Alloc allocates a new zeroed page.
 func (p *Pager) Alloc(tag string) *Page {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	pg := &Page{ID: p.next, Data: make([]byte, p.pageSize), Tag: tag}
 	p.next++
 	p.pages[pg.ID] = pg
-	p.stats.Allocs++
+	p.allocs.Add(1)
 	p.touch(pg.ID)
+	p.mu.Unlock()
 	return pg
 }
 
 // Read fetches a page, counting a read unless it is buffer-resident.
 func (p *Pager) Read(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	pg, ok := p.pages[id]
 	if !ok {
 		return nil, fmt.Errorf("storage: read of unknown page %d", id)
 	}
-	if p.capacity > 0 && p.resident[id] {
-		p.stats.Hits++
-	} else {
-		p.stats.Reads++
+	if p.capacity == 0 {
+		p.reads.Add(1)
+		return pg, nil
 	}
-	p.touch(id)
+	p.lruMu.Lock()
+	if _, resident := p.nodes[id]; resident {
+		p.hits.Add(1)
+	} else {
+		p.reads.Add(1)
+	}
+	p.touchLocked(id)
+	p.lruMu.Unlock()
 	return pg, nil
 }
 
 // Write marks a page written back, counting a write.
 func (p *Pager) Write(pg *Page) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if _, ok := p.pages[pg.ID]; !ok {
 		return fmt.Errorf("storage: write of unknown page %d", pg.ID)
 	}
-	p.stats.Writes++
+	p.writes.Add(1)
 	p.touch(pg.ID)
 	return nil
 }
@@ -130,55 +157,102 @@ func (p *Pager) Free(id PageID) error {
 		return fmt.Errorf("storage: free of unknown page %d", id)
 	}
 	delete(p.pages, id)
-	delete(p.resident, id)
-	for i, r := range p.lru {
-		if r == id {
-			p.lru = append(p.lru[:i], p.lru[i+1:]...)
-			break
+	if p.capacity > 0 {
+		p.lruMu.Lock()
+		if nd, ok := p.nodes[id]; ok {
+			p.unlink(nd)
+			delete(p.nodes, id)
 		}
+		p.lruMu.Unlock()
 	}
-	p.stats.Frees++
+	p.frees.Add(1)
 	return nil
 }
 
 // touch moves a page to the front of the LRU, evicting beyond capacity.
-// Caller holds the mutex.
 func (p *Pager) touch(id PageID) {
 	if p.capacity == 0 {
 		return
 	}
-	for i, r := range p.lru {
-		if r == id {
-			p.lru = append(p.lru[:i], p.lru[i+1:]...)
-			break
+	p.lruMu.Lock()
+	p.touchLocked(id)
+	p.lruMu.Unlock()
+}
+
+// touchLocked is touch with lruMu held. Every operation is O(1): a map
+// lookup plus pointer splices, where the seed implementation scanned and
+// re-built an O(capacity) slice per access.
+func (p *Pager) touchLocked(id PageID) {
+	if nd, ok := p.nodes[id]; ok {
+		if p.head != nd {
+			p.unlink(nd)
+			p.pushFront(nd)
 		}
+		return
 	}
-	p.lru = append([]PageID{id}, p.lru...)
-	p.resident[id] = true
-	for len(p.lru) > p.capacity {
-		victim := p.lru[len(p.lru)-1]
-		p.lru = p.lru[:len(p.lru)-1]
-		delete(p.resident, victim)
+	nd := &lruNode{id: id}
+	p.nodes[id] = nd
+	p.pushFront(nd)
+	for len(p.nodes) > p.capacity {
+		victim := p.tail
+		p.unlink(victim)
+		delete(p.nodes, victim.id)
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// pushFront makes nd the most recently used node. Caller holds lruMu.
+func (p *Pager) pushFront(nd *lruNode) {
+	nd.prev = nil
+	nd.next = p.head
+	if p.head != nil {
+		p.head.prev = nd
+	}
+	p.head = nd
+	if p.tail == nil {
+		p.tail = nd
+	}
+}
+
+// unlink removes nd from the list. Caller holds lruMu.
+func (p *Pager) unlink(nd *lruNode) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		p.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		p.tail = nd.prev
+	}
+	nd.prev, nd.next = nil, nil
+}
+
+// Stats returns a snapshot of the counters. Counters are independent
+// atomics; a snapshot taken while other goroutines operate reflects some
+// interleaving of their updates.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Reads:  p.reads.Load(),
+		Writes: p.writes.Load(),
+		Allocs: p.allocs.Load(),
+		Frees:  p.frees.Load(),
+		Hits:   p.hits.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (buffer contents are kept).
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.reads.Store(0)
+	p.writes.Store(0)
+	p.allocs.Store(0)
+	p.frees.Store(0)
+	p.hits.Store(0)
 }
 
 // NumPages returns the number of live pages.
 func (p *Pager) NumPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return len(p.pages)
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -124,6 +125,74 @@ func TestPageIDsUnique(t *testing.T) {
 			t.Fatalf("duplicate page ID %d", pg.ID)
 		}
 		seen[pg.ID] = true
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// With capacity 3, touching a, b, c, then a again makes b the LRU
+	// victim when d arrives.
+	p := MustNewPager(256, 3)
+	a, b, c := p.Alloc(""), p.Alloc(""), p.Alloc("")
+	if _, err := p.Read(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Alloc("") // evicts b
+	p.ResetStats()
+	for _, pg := range []*Page{a, c, d} {
+		if _, err := p.Read(pg.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.Hits != 3 || s.Reads != 0 {
+		t.Errorf("a, c, d should be resident: %+v", s)
+	}
+	if _, err := p.Read(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Reads != 1 {
+		t.Errorf("b should have been evicted: %+v", s)
+	}
+}
+
+func TestConcurrentReadersAndStats(t *testing.T) {
+	// Concurrent reads, writes, allocs and stats snapshots must be safe
+	// (run under -race) and account exactly: reads+hits == total Read
+	// calls across goroutines.
+	const goroutines, perG = 8, 200
+	p := MustNewPager(256, 4)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		ids = append(ids, p.Alloc("").ID)
+	}
+	p.ResetStats()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				pg, err := p.Read(ids[(g*perG+i)%len(ids)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if err := p.Write(pg); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				_ = p.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if got := s.Reads + s.Hits; got != goroutines*perG {
+		t.Errorf("reads+hits = %d, want %d", got, goroutines*perG)
+	}
+	if s.Writes != goroutines*perG/10 {
+		t.Errorf("writes = %d, want %d", s.Writes, goroutines*perG/10)
 	}
 }
 
