@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -90,8 +91,21 @@ type (
 	Value = oodb.Value
 	// Object is a stored object.
 	Object = oodb.Object
-	// Database couples a store with the working indexes of a configuration.
-	Database = exec.Configured
+	// Database is the lifecycle-managed engine: a store coupled with the
+	// working indexes of the active configuration, a live workload
+	// recorder, and online reconfiguration (Advise, Reconfigure,
+	// WorkloadSnapshot). Queries are never blocked by a reconfiguration
+	// in flight.
+	Database = engine.Engine
+	// EngineOptions tune the engine's reconfiguration loop (drift
+	// threshold, automatic check cadence, re-selection columns).
+	EngineOptions = engine.Options
+	// Advice is the outcome of one online re-selection pass.
+	Advice = engine.Advice
+	// ReconfigureReport describes one applied (or skipped) swap.
+	ReconfigureReport = engine.Report
+	// Workload is a point-in-time view of the recorded live traffic.
+	Workload = stats.Workload
 	// Generated is a synthetic database materialized from statistics.
 	Generated = gen.Generated
 )
@@ -187,9 +201,28 @@ func Generate(ps *PathStats, scale float64, seed int64) (*Generated, error) {
 }
 
 // Open builds the working index structures of a configuration over a
-// store's current contents and returns the coupled database: Query,
-// Insert and Delete keep the indexes maintained.
+// store's current contents and returns the lifecycle-managed database:
+// Query, Insert and Delete keep the indexes maintained and feed the
+// workload recorder; Advise, Reconfigure and WorkloadSnapshot close the
+// measure–select–reconfigure loop online. With the zero options the
+// engine never reconfigures on its own; see OpenWithOptions.
 func Open(st *Store, p *Path, cfg Configuration, pageSize int) (*Database, error) {
+	return engine.New(st, p, cfg, pageSize, engine.Options{})
+}
+
+// OpenWithOptions is Open with explicit engine options: the drift
+// threshold and check cadence for automatic background reconfiguration,
+// the assumed workload baseline, and the organization columns online
+// re-selection may choose from.
+func OpenWithOptions(st *Store, p *Path, cfg Configuration, pageSize int, opts EngineOptions) (*Database, error) {
+	return engine.New(st, p, cfg, pageSize, opts)
+}
+
+// OpenStatic builds the working indexes of a fixed configuration without
+// lifecycle management — the plain executor Open wrapped before the
+// engine existed. Use it when the configuration must never change
+// underneath the caller.
+func OpenStatic(st *Store, p *Path, cfg Configuration, pageSize int) (*exec.Configured, error) {
 	return exec.NewConfigured(st, p, cfg, pageSize)
 }
 

@@ -3,6 +3,7 @@ package ooindex
 import (
 	"math"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -172,6 +173,116 @@ func TestSelectMulti(t *testing.T) {
 	}
 	if _, err := SelectMulti(nil, nil); err == nil {
 		t.Error("empty path list accepted")
+	}
+}
+
+func TestSelectMultiSharingMerge(t *testing.T) {
+	// Two structurally identical paths: the optima coincide, so every
+	// indexed subpath is shared and the merge arithmetic is fully
+	// predictable from one path's matrix.
+	psA, psB := Figure7Stats(), Figure7Stats()
+	plan, err := SelectMulti([]*PathStats{psA, psB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := Select(Figure7Stats(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range plan.Configs {
+		if !cfg.Equal(res.Best) {
+			t.Fatalf("config %d = %v, want %v", i, cfg, res.Best)
+		}
+	}
+
+	var query, maint float64
+	for _, asg := range res.Best.Assignments {
+		entry, ok := m.Entry(asg.A, asg.B, asg.Org)
+		if !ok {
+			t.Fatalf("no matrix entry for %+v", asg)
+		}
+		query += entry.SC.Query
+		maint += entry.SC.Maint + entry.SC.CMD
+	}
+	// Each path pays its own query load; a shared structure's
+	// maintenance (including the Definition 4.2 boundary charge) is
+	// counted once, not per path.
+	if want := 2 * res.Best.Cost; math.Abs(plan.UnsharedCost-want) > 1e-9 {
+		t.Errorf("UnsharedCost = %g, want %g", plan.UnsharedCost, want)
+	}
+	if want := 2*query + maint; math.Abs(plan.TotalCost-want) > 1e-9 {
+		t.Errorf("TotalCost = %g, want 2*query + 1*maint = %g", plan.TotalCost, want)
+	}
+	if plan.TotalCost > plan.UnsharedCost+1e-9 {
+		t.Errorf("sharing increased cost: %g > %g", plan.TotalCost, plan.UnsharedCost)
+	}
+
+	// Every assignment is shared, and the listing is deterministic:
+	// sorted, and identical across runs.
+	if len(plan.SharedSubpaths) != len(res.Best.Assignments) {
+		t.Fatalf("SharedSubpaths = %v, want one per assignment of %v", plan.SharedSubpaths, res.Best)
+	}
+	if !sort.StringsAreSorted(plan.SharedSubpaths) {
+		t.Errorf("SharedSubpaths not sorted: %v", plan.SharedSubpaths)
+	}
+	again, err := SelectMulti([]*PathStats{Figure7Stats(), Figure7Stats()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.SharedSubpaths, again.SharedSubpaths) {
+		t.Errorf("SharedSubpaths order unstable: %v vs %v", plan.SharedSubpaths, again.SharedSubpaths)
+	}
+}
+
+func TestEngineLifecycleThroughAPI(t *testing.T) {
+	// The measure–select–reconfigure loop through the public API: open
+	// the engine, serve traffic, ask for advice, reconfigure.
+	ps := Figure7Stats()
+	res, _, err := Select(ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Generate(ps, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWithOptions(g.Store, g.Path, res.Best, ps.Params.PageSize, EngineOptions{
+		Params:  PaperParams(),
+		Assumed: ps,
+		MinOps:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if _, err := db.Query(g.EndValues[i%len(g.EndValues)], "Person", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := db.WorkloadSnapshot(); w.Total != 24 {
+		t.Fatalf("workload total = %d, want 24", w.Total)
+	}
+	adv, err := db.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Changed != adv.Changed {
+		t.Errorf("advice said changed=%v, reconfigure did changed=%v", adv.Changed, rep.Changed)
+	}
+	if !db.Config().Equal(adv.Config) {
+		t.Errorf("active config %v, advice recommended %v", db.Config(), adv.Config)
+	}
+	// The static executor stays available for fixed configurations.
+	static, err := OpenStatic(g.Store, g.Path, res.Best, ps.Params.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !static.Config().Equal(res.Best) {
+		t.Error("static executor lost its configuration")
 	}
 }
 

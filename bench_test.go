@@ -332,3 +332,42 @@ func BenchmarkQueryRangeConfigured(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(db.IndexStats().Accesses())/float64(b.N), "page-accesses/op")
 }
+
+// BenchmarkReconfigure measures one online configuration swap (experiment
+// E1's hot path): the engine diff-builds the changed tail of the
+// configuration — the shared (1-2, NIX) head is reused, not rebuilt — and
+// atomically swaps the index set.
+func BenchmarkReconfigure(b *testing.B) {
+	ps := Figure7Stats()
+	g, err := gen.Generate(ps, 0.002, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgA := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: NIX}, {A: 3, B: 4, Org: MX},
+	}}
+	cfgB := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: NIX}, {A: 3, B: 3, Org: MX}, {A: 4, B: 4, Org: MX},
+	}}
+	db, err := Open(g.Store, g.Path, cfgA, ps.Params.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reused, built int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := cfgB
+		if i%2 == 1 {
+			next = cfgA
+		}
+		rep, err := db.ApplyConfiguration(next)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reused += rep.Reused
+		built += rep.Built
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(reused)/float64(b.N), "structures-reused/op")
+	b.ReportMetric(float64(built)/float64(b.N), "structures-built/op")
+}

@@ -11,6 +11,7 @@
 //	ixbench -run extended     # PX/NX/NONE extended organizations (X1)
 //	ixbench -run selectivity  # range-predicate sweep (R1)
 //	ixbench -run buffer       # buffer-pool ablation (B1)
+//	ixbench -run reconfig     # online reconfiguration under drift (E1)
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all|fig6|fig8|complexity|validate|workload|sweep|extended|selectivity|buffer")
+	run := flag.String("run", "all", "experiment to run: all|fig6|fig8|complexity|validate|workload|sweep|extended|selectivity|buffer|reconfig")
 	maxN := flag.Int("maxn", 10, "maximum path length for complexity/sweep experiments")
 	trials := flag.Int("trials", 20, "random matrices per length in the complexity experiment")
 	seed := flag.Int64("seed", 42, "random seed for generated databases and matrices")
@@ -107,6 +108,15 @@ func runExperiments(which string, maxN, trials int, seed int64) error {
 		ran = true
 		section("B1 — buffer-pool ablation")
 		rep, err := experiments.RunBufferAblation(2000, 5000, []int{0, 4, 16, 64})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if want("reconfig") {
+		ran = true
+		section("E1 — online reconfiguration under workload drift")
+		rep, err := experiments.RunReconfigure(seed)
 		if err != nil {
 			return err
 		}

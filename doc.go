@@ -26,7 +26,10 @@
 //   - an executor that runs queries and updates through a configuration,
 //     and a synthetic database generator;
 //   - the paper's extensions (Section 6): a no-index option and greedy
-//     selection across multiple paths.
+//     selection across multiple paths;
+//   - a lifecycle engine that closes the selection loop online: it records
+//     the live workload, detects drift, re-selects and reconfigures the
+//     running database without blocking queries.
 //
 // # Quick start
 //
@@ -59,6 +62,26 @@
 // working indexes uses an O(1) intrusive-list LRU and atomic statistics
 // counters, so concurrent readers do not serialize on bookkeeping. See
 // DESIGN.md for measured numbers.
+//
+// # Engine
+//
+// The paper selects a configuration once, from assumed workload
+// frequencies; Open returns a lifecycle-managed engine that keeps
+// selecting. Every query, insert and delete is counted per class by a
+// lock-free recorder on the execution paths. When the observed operation
+// mix drifts beyond a threshold from the mix the active configuration was
+// selected for (total-variation distance over the Section 3.2 load
+// triplets), the engine re-collects statistics from the live store,
+// merges the observed frequencies in, re-runs the Section 5 selection,
+// and swaps configurations online: only the subpath indexes absent from
+// the old configuration are built — unchanged assignments keep their
+// live, continuously maintained structures — and the new index set is
+// published atomically. Queries take a read-locked snapshot of the active
+// set, so they are never blocked by a reconfiguration and never observe a
+// half-built configuration. Drive the loop manually (Advise,
+// Reconfigure, ApplyConfiguration) or let the engine check drift every
+// CheckEvery operations and retune in the background; see
+// examples/selftuning.
 //
 // See the examples/ directory for end-to-end programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-versus-measured

@@ -59,6 +59,21 @@ func (c Configuration) String() string {
 	return b.String()
 }
 
+// Equal reports whether two configurations allocate the same organizations
+// to the same subpaths. Costs are not compared: the same configuration may
+// be priced against different statistics.
+func (c Configuration) Equal(o Configuration) bool {
+	if len(c.Assignments) != len(o.Assignments) {
+		return false
+	}
+	for i, a := range c.Assignments {
+		if a != o.Assignments[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks that the assignments partition the 1..n levels.
 func (c Configuration) Validate(n int) error {
 	if len(c.Assignments) == 0 {

@@ -24,10 +24,10 @@ import "repro/internal/model"
 type Shared struct {
 	ps *model.PathStats
 
-	mx       [][]*Geom   // [l-1][classIdx]: per-class MX geometry at level l
-	mix      []*Geom     // [l-1]: MIX geometry at level l
+	mx       [][]*Geom     // [l-1][classIdx]: per-class MX geometry at level l
+	mix      []*Geom       // [l-1]: MIX geometry at level l
 	noid     [][][]float64 // [b-1][l-1][classIdx]: noidS chain computed from ending level b
-	noidStar []float64   // [l]: noid*_l for l in 1..n+1
+	noidStar []float64     // [l]: noid*_l for l in 1..n+1
 
 	memo    map[memoKey]float64    // CRT/CMT/CRR results
 	yaoMemo map[[3]float64]float64 // raw Yao(t, n, m) results

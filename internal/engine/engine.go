@@ -1,0 +1,456 @@
+// Package engine is the lifecycle manager that turns the paper's one-shot
+// selection into a self-tuning system. An Engine owns an object store, the
+// working indexes of the current configuration, and the workload loop the
+// paper leaves to the administrator:
+//
+//	record   — every query, insert and delete is counted per class by a
+//	           lock-free recorder on the execution paths;
+//	drift    — the observed operation mix is compared against the load
+//	           distribution the current configuration was selected for;
+//	re-select — when drift exceeds the threshold, statistics are
+//	           re-collected from the live store, the observed frequencies
+//	           are merged in, and the Section 5 algorithm runs again;
+//	diff-build — only the subpath indexes absent from the current
+//	           configuration are built; identical (subpath, organization)
+//	           assignments keep their live, continuously maintained
+//	           structures;
+//	swap     — the new index set is published atomically. Queries in
+//	           flight finish on the set they started with; they never see
+//	           a half-built configuration.
+//
+// Reads are never blocked by reconfiguration: queries take a snapshot of
+// the active set through an atomic pointer. Writers (Insert, Delete)
+// serialize with the build-and-swap so the new set is loaded from a
+// stable store; after the swap the retired set is drained before any
+// maintenance touches the structures the new set adopted.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Options tune the engine's reconfiguration loop. The zero value gives a
+// manually driven engine: workload recording always on, drift available
+// on demand, reconfiguration only when Reconfigure or ApplyConfiguration
+// is called.
+type Options struct {
+	// Params are the physical parameters used when re-collecting
+	// statistics for re-selection. Zero means DefaultParams with the
+	// engine's page size.
+	Params model.Params
+	// Orgs are the organization columns re-selection may choose from.
+	// Every entry must have a working implementation (MX, MIX, NIX, PX).
+	// Nil means the paper's {MX, MIX, NIX}.
+	Orgs []cost.Organization
+	// Assumed carries the design-time statistics and workload the initial
+	// configuration was selected for; its load triplets are the drift
+	// baseline until the first reconfiguration. Nil means no assumption:
+	// any observed traffic counts as maximal drift.
+	Assumed *model.PathStats
+	// DriftThreshold is the total-variation distance beyond which the
+	// auto-tuner reconfigures. Zero means the 0.25 default.
+	DriftThreshold float64
+	// MinOps is the observed-operation count below which drift is
+	// reported as zero (too little evidence). Zero means the 64 default.
+	MinOps uint64
+	// CheckEvery, when positive, has the engine check drift every that
+	// many operations and launch a background reconfiguration when the
+	// threshold is exceeded. Zero disables automatic tuning.
+	CheckEvery uint64
+}
+
+func (o Options) withDefaults(pageSize int) Options {
+	if o.Params == (model.Params{}) {
+		o.Params = model.DefaultParams()
+		o.Params.PageSize = pageSize
+	}
+	if o.Orgs == nil {
+		o.Orgs = cost.Organizations
+	}
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = 0.25
+	}
+	if o.MinOps == 0 {
+		o.MinOps = 64
+	}
+	return o
+}
+
+// Advice is the outcome of one re-selection pass.
+type Advice struct {
+	// Config is the configuration the selection algorithm recommends for
+	// the refreshed statistics.
+	Config core.Configuration
+	// Current is the configuration that was active when the advice was
+	// computed.
+	Current core.Configuration
+	// Changed reports whether Config differs from Current.
+	Changed bool
+	// Stats are the exact statistics the recommendation was computed
+	// from: cardinalities re-collected from the live store, loads merged
+	// from the observed workload (or carried over from the baseline when
+	// too little traffic was recorded). Re-running core.Select on them
+	// reproduces Config bit for bit.
+	Stats *model.PathStats
+	// Drift is the load drift at advice time.
+	Drift float64
+	// Search reports the selection procedure's work.
+	Search core.SelectionStats
+}
+
+// Report describes one applied (or skipped) reconfiguration.
+type Report struct {
+	From, To core.Configuration
+	// Changed is false when the recommendation matched the active
+	// configuration and no swap happened.
+	Changed bool
+	// Reused counts index structures adopted from the previous set;
+	// Built counts structures newly constructed and bulk-loaded.
+	Reused, Built int
+	// Drift is the load drift that motivated the reconfiguration.
+	Drift float64
+}
+
+// Engine is a lifecycle-managed database: a store, the working indexes of
+// the active configuration, a workload recorder, and the drift-triggered
+// reconfiguration controller.
+type Engine struct {
+	store    *oodb.Store
+	path     *schema.Path
+	pageSize int
+	opts     Options
+
+	active atomic.Pointer[exec.IndexSet]
+
+	// writeMu serializes store mutations and configuration swaps: the
+	// replacement set must be bulk-loaded from a store no insert or
+	// delete is changing. Queries never take it.
+	writeMu sync.Mutex
+
+	rec      *stats.Recorder
+	baseline atomic.Pointer[model.PathStats] // loads the active config was selected for
+
+	ops        atomic.Uint64 // operations since the last auto check window
+	tuning     atomic.Bool   // a background reconfiguration is in flight
+	bg         sync.WaitGroup
+	swaps      atomic.Uint64
+	failStreak atomic.Uint64            // consecutive failed auto-tunes, for backoff
+	lastTune   atomic.Pointer[AutoTune] // most recent auto-tune outcome
+}
+
+// AutoTune records one background reconfiguration attempt: the report of
+// what happened (or was about to happen) and the error, if it failed.
+type AutoTune struct {
+	Report Report
+	Err    error
+}
+
+// New builds the working indexes of cfg over the store's current contents
+// and returns the managed engine.
+func New(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int, opts Options) (*Engine, error) {
+	if st == nil || p == nil {
+		return nil, fmt.Errorf("engine: nil store or path")
+	}
+	opts = opts.withDefaults(pageSize)
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	for _, org := range opts.Orgs {
+		if !index.Supported(org) {
+			return nil, fmt.Errorf("engine: organization %v has no working implementation; cannot be a re-selection column", org)
+		}
+	}
+	e := &Engine{store: st, path: p, pageSize: pageSize, opts: opts, rec: stats.NewRecorder(p)}
+	set, err := exec.NewIndexSet(st, p, cfg, pageSize, e.rec)
+	if err != nil {
+		return nil, err
+	}
+	e.active.Store(set)
+	if opts.Assumed != nil {
+		e.baseline.Store(opts.Assumed)
+	}
+	return e, nil
+}
+
+// snapshot returns the active set read-locked against maintenance. The
+// re-check after locking closes the window in which a swap completes —
+// and writers resume — between loading the pointer and locking the set.
+func (e *Engine) snapshot() *exec.IndexSet {
+	for {
+		s := e.active.Load()
+		s.RLock()
+		if e.active.Load() == s {
+			return s
+		}
+		s.RUnlock()
+	}
+}
+
+// Query evaluates A_n = value for targetClass through the active
+// configuration. Queries run against an atomic snapshot of the index set
+// and are never blocked by an in-flight reconfiguration.
+func (e *Engine) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	s := e.snapshot()
+	out, err := s.Query(value, targetClass, hierarchy)
+	s.RUnlock()
+	e.maybeAutoTune()
+	return out, err
+}
+
+// QueryRange evaluates A_n IN [lo, hi) for targetClass through the
+// active configuration.
+func (e *Engine) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	s := e.snapshot()
+	out, err := s.QueryRange(lo, hi, targetClass, hierarchy)
+	s.RUnlock()
+	e.maybeAutoTune()
+	return out, err
+}
+
+// Insert stores a new object and maintains the active configuration's
+// owning subpath index.
+func (e *Engine) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
+	e.writeMu.Lock()
+	oid, err := e.active.Load().InsertInto(e.store, class, attrs)
+	e.writeMu.Unlock()
+	e.maybeAutoTune()
+	return oid, err
+}
+
+// Delete removes an object and maintains the active configuration,
+// including the Definition 4.2 boundary maintenance. A missing OID
+// reports oodb.ErrNotFound.
+func (e *Engine) Delete(oid oodb.OID) error {
+	e.writeMu.Lock()
+	err := e.active.Load().DeleteFrom(e.store, oid)
+	e.writeMu.Unlock()
+	e.maybeAutoTune()
+	return err
+}
+
+// Store returns the engine's object store.
+func (e *Engine) Store() *oodb.Store { return e.store }
+
+// Path returns the path the engine indexes.
+func (e *Engine) Path() *schema.Path { return e.path }
+
+// Config returns the active configuration.
+func (e *Engine) Config() core.Configuration { return e.active.Load().Config() }
+
+// Indexes returns the active set's structures in assignment order; for
+// inspection (e.g. asserting structure reuse across a swap).
+func (e *Engine) Indexes() []index.PathIndex { return e.active.Load().Indexes() }
+
+// IndexStats sums the page-access counters over the active set.
+func (e *Engine) IndexStats() storage.Stats { return e.active.Load().Stats() }
+
+// ResetStats zeroes the active set's counters.
+func (e *Engine) ResetStats() { e.active.Load().ResetStats() }
+
+// Swaps returns how many configuration swaps the engine has performed.
+func (e *Engine) Swaps() uint64 { return e.swaps.Load() }
+
+// WorkloadSnapshot returns the recorded traffic since the last
+// reconfiguration (or reset).
+func (e *Engine) WorkloadSnapshot() stats.Workload { return e.rec.Snapshot() }
+
+// Drift returns the total-variation distance between the load
+// distribution the active configuration was selected for and the
+// observed workload; zero until MinOps operations are recorded.
+func (e *Engine) Drift() float64 {
+	w := e.rec.Snapshot()
+	if w.Total < e.opts.MinOps {
+		return 0
+	}
+	base := e.baseline.Load()
+	if base == nil {
+		return 1
+	}
+	return stats.LoadDrift(base, w)
+}
+
+// Advise re-collects statistics from the live store, merges the observed
+// workload frequencies in, and runs the selection algorithm — without
+// touching the active configuration. The returned advice carries the
+// exact PathStats used, so the recommendation is reproducible offline.
+func (e *Engine) Advise() (Advice, error) {
+	adv := Advice{Current: e.Config(), Drift: e.Drift()}
+	ps, err := e.observedStats()
+	if err != nil {
+		return adv, err
+	}
+	// The same batched path the engine's background selection uses; it is
+	// bit-identical to core.Select on the same statistics (enforced by
+	// the core equivalence tests).
+	results, err := core.SelectBatch([]*model.PathStats{ps}, e.opts.Orgs)
+	if err != nil {
+		return adv, err
+	}
+	adv.Stats = ps
+	adv.Config = results[0].Best
+	adv.Search = results[0].Stats
+	adv.Changed = !adv.Config.Equal(adv.Current)
+	return adv, nil
+}
+
+// observedStats builds the PathStats re-selection runs on: cardinalities
+// scanned from the live store, loads from the observed workload when
+// there is enough of it, else from the baseline assumption. With neither
+// it errors — selecting on all-zero load triplets would swap to an
+// arbitrary tie-broken configuration justified by no evidence.
+func (e *Engine) observedStats() (*model.PathStats, error) {
+	ps, err := stats.Collect(e.store, e.path, e.opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	if w := e.rec.Snapshot(); w.Total >= e.opts.MinOps {
+		if err := stats.MergeObserved(ps, w); err != nil {
+			return nil, err
+		}
+		return ps, nil
+	}
+	base := e.baseline.Load()
+	if base == nil {
+		return nil, fmt.Errorf("engine: no workload evidence to select on (fewer than %d operations recorded and no assumed baseline)", e.opts.MinOps)
+	}
+	for l := 1; l <= ps.Len(); l++ {
+		copy(ps.Level(l).Loads, base.Level(l).Loads)
+	}
+	return ps, nil
+}
+
+// Reconfigure runs one full observe → re-select → diff-build → swap
+// cycle synchronously. When the recommendation matches the active
+// configuration no swap happens (Report.Changed is false), but the drift
+// baseline still advances to the statistics just confirmed.
+func (e *Engine) Reconfigure() (Report, error) {
+	adv, err := e.Advise()
+	if err != nil {
+		return Report{From: adv.Current, Drift: adv.Drift}, err
+	}
+	return e.apply(adv.Config, adv.Stats, adv.Drift)
+}
+
+// ApplyConfiguration swaps the engine to an explicit configuration,
+// bypassing selection — the manual override. Unchanged assignments keep
+// their live structures. The drift baseline becomes the observed
+// workload (when enough was recorded), so the auto-tuner measures future
+// drift against the traffic the operator's choice is serving rather than
+// the assumption behind the previous configuration.
+func (e *Engine) ApplyConfiguration(cfg core.Configuration) (Report, error) {
+	var used *model.PathStats
+	if w := e.rec.Snapshot(); w.Total >= e.opts.MinOps {
+		ps := model.NewPathStats(e.path, e.opts.Params)
+		if err := stats.MergeObserved(ps, w); err == nil {
+			used = ps
+		}
+	}
+	return e.apply(cfg, used, e.Drift())
+}
+
+func (e *Engine) apply(cfg core.Configuration, used *model.PathStats, drift float64) (Report, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	old := e.active.Load()
+	rep := Report{From: old.Config(), To: cfg, Drift: drift}
+	if cfg.Equal(old.Config()) {
+		// Selection confirmed the active configuration: adopt the
+		// statistics it was confirmed on. A manual no-op (no stats)
+		// keeps the window — recorded evidence is not discarded.
+		if used != nil {
+			e.adoptBaseline(used)
+		}
+		return rep, nil
+	}
+	// Diff-build: writers are paused (writeMu), so the store is stable
+	// while the new assignments bulk-load; queries keep flowing against
+	// the old set.
+	next, err := exec.NewIndexSetReusing(e.store, e.path, cfg, e.pageSize, e.rec, old)
+	if err != nil {
+		return rep, err
+	}
+	e.active.Store(next)
+	// Wait out readers still on the retired set before writers resume:
+	// the new set adopted some of its structures.
+	old.Drain()
+	rep.Changed = true
+	rep.Reused = next.Reused()
+	rep.Built = len(cfg.Assignments) - next.Reused()
+	e.adoptBaseline(used)
+	e.swaps.Add(1)
+	return rep, nil
+}
+
+// adoptBaseline makes ps (when provided) the new drift baseline and
+// starts a fresh observation window.
+func (e *Engine) adoptBaseline(ps *model.PathStats) {
+	if ps != nil {
+		e.baseline.Store(ps)
+	}
+	e.rec.Reset()
+	e.ops.Store(0)
+}
+
+// maybeAutoTune checks drift every CheckEvery operations and launches a
+// background reconfiguration when it exceeds the threshold. At most one
+// reconfiguration is in flight at a time; after a failed attempt the
+// check window doubles (capped at 64x), so a persistently failing swap
+// does not become a repeating burst of background collect-and-build
+// work. Failures are visible through LastAutoTune.
+func (e *Engine) maybeAutoTune() {
+	every := e.opts.CheckEvery
+	if every == 0 {
+		return
+	}
+	if streak := e.failStreak.Load(); streak > 0 {
+		every <<= min(streak, 6)
+	}
+	if e.ops.Add(1)%every != 0 {
+		return
+	}
+	if e.Drift() < e.opts.DriftThreshold {
+		return
+	}
+	if !e.tuning.CompareAndSwap(false, true) {
+		return
+	}
+	e.bg.Add(1)
+	go func() {
+		defer e.bg.Done()
+		defer e.tuning.Store(false)
+		rep, err := e.Reconfigure()
+		e.lastTune.Store(&AutoTune{Report: rep, Err: err})
+		if err != nil {
+			e.failStreak.Add(1)
+		} else {
+			e.failStreak.Store(0)
+		}
+	}()
+}
+
+// LastAutoTune returns the most recent background reconfiguration
+// attempt — including a failed one, whose Err is set — or false if none
+// has completed.
+func (e *Engine) LastAutoTune() (AutoTune, bool) {
+	at := e.lastTune.Load()
+	if at == nil {
+		return AutoTune{}, false
+	}
+	return *at, true
+}
+
+// Quiesce blocks until any in-flight background reconfiguration has
+// finished; for orderly shutdown and deterministic tests.
+func (e *Engine) Quiesce() { e.bg.Wait() }

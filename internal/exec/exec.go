@@ -4,15 +4,19 @@
 // configuration, by chaining subpath-index lookups — the OIDs produced by
 // the subpath closer to the ending attribute are the key values probed
 // into the preceding subpath's index (Proposition 4.1 made operational).
+//
+// The index structures of a configuration are owned by an IndexSet (see
+// indexset.go), the copy-on-write unit the lifecycle engine swaps during
+// online reconfiguration. Configured couples a store with a single set
+// for callers that never reconfigure.
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
-	"repro/internal/index"
 	"repro/internal/oodb"
 	"repro/internal/schema"
 	"repro/internal/storage"
@@ -52,7 +56,12 @@ func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bo
 		for _, r := range obj.Refs(p.Attr(l)) {
 			child, err := st.Get(r)
 			if err != nil {
-				continue // dangling forward reference after a deletion
+				if errors.Is(err, oodb.ErrNotFound) {
+					// Dangling forward reference after a deletion —
+					// expected under the paper's reference model.
+					continue
+				}
+				return false, err
 			}
 			ok, err := reaches(child, l+1)
 			if err != nil {
@@ -89,211 +98,6 @@ func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bo
 	return out, nil
 }
 
-// Configured couples an object store with the index structures of one
-// index configuration and keeps them maintained under inserts and deletes.
-type Configured struct {
-	Store *oodb.Store
-	Path  *schema.Path
-	// Indexes are ordered like the configuration's assignments (head of
-	// the path first).
-	Indexes []index.PathIndex
-	// levelOwner[l-1] is the position in Indexes owning global level l.
-	levelOwner []int
-	config     core.Configuration
-}
-
-// NewConfigured builds the index structures of cfg over the store's
-// current contents and returns the coupled executor. Index pages are sized
-// pageSize. Objects are loaded deepest level first, respecting the
-// forward-reference order NIX maintenance relies on.
-func NewConfigured(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int) (*Configured, error) {
-	if err := cfg.Validate(p.Len()); err != nil {
-		return nil, err
-	}
-	c := &Configured{Store: st, Path: p, config: cfg, levelOwner: make([]int, p.Len())}
-	for i, asg := range cfg.Assignments {
-		var ix index.PathIndex
-		var err error
-		switch asg.Org.String() {
-		case "MX":
-			ix, err = index.NewMultiIndex(p, asg.A, asg.B, pageSize)
-		case "MIX":
-			ix, err = index.NewMultiInheritedIndex(p, asg.A, asg.B, pageSize)
-		case "NIX":
-			ix, err = index.NewNestedInheritedIndex(p, asg.A, asg.B, pageSize)
-		case "PX":
-			ix, err = index.NewPathIndexPX(st, p, asg.A, asg.B, pageSize)
-		default:
-			return nil, fmt.Errorf("exec: organization %v has no working implementation", asg.Org)
-		}
-		if err != nil {
-			return nil, err
-		}
-		c.Indexes = append(c.Indexes, ix)
-		for l := asg.A; l <= asg.B; l++ {
-			c.levelOwner[l-1] = i
-		}
-	}
-	// Bulk load, deepest level first within each index (the order NIX
-	// maintenance relies on). Each index owns a disjoint level range and
-	// a dedicated pager, so the indexes load concurrently. Store access
-	// is read-only: Peek does not count page accesses; PX additionally
-	// reads objects through the store's pager, whose atomic counters and
-	// locked buffer bookkeeping make concurrent counting safe (and, with
-	// the store's unbuffered pager, deterministic in total).
-	load := func(i int) error {
-		asg := cfg.Assignments[i]
-		ix := c.Indexes[i]
-		for l := asg.B; l >= asg.A; l-- {
-			for _, cn := range p.HierarchyAt(l) {
-				for _, oid := range st.OIDsOfClass(cn) {
-					obj, _ := st.Peek(oid)
-					if err := ix.OnInsert(obj); err != nil {
-						return fmt.Errorf("exec: loading %s: %w", cn, err)
-					}
-				}
-			}
-		}
-		return nil
-	}
-	if len(c.Indexes) == 1 {
-		if err := load(0); err != nil {
-			return nil, err
-		}
-		return c, nil
-	}
-	errs := make([]error, len(c.Indexes))
-	var wg sync.WaitGroup
-	for i := range c.Indexes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = load(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
-}
-
-// Config returns the configuration the executor was built from.
-func (c *Configured) Config() core.Configuration { return c.config }
-
-// levelOf resolves a class to its global path level.
-func (c *Configured) levelOf(class string) (int, error) {
-	for l := 1; l <= c.Path.Len(); l++ {
-		for _, cn := range c.Path.HierarchyAt(l) {
-			if cn == class {
-				return l, nil
-			}
-		}
-	}
-	return 0, fmt.Errorf("exec: class %q not in scope of %s", class, c.Path)
-}
-
-// Query evaluates A_n = value for targetClass through the configuration:
-// the last subpath is probed with the value; each earlier subpath is
-// probed with the OIDs produced by its successor.
-func (c *Configured) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	level, err := c.levelOf(targetClass)
-	if err != nil {
-		return nil, err
-	}
-	gi := c.levelOwner[level-1]
-	keys := []oodb.Value{value}
-	for i := len(c.Indexes) - 1; i >= gi; i-- {
-		ix := c.Indexes[i]
-		a, _ := ix.Bounds()
-		var oids []oodb.OID
-		tc, hier := c.Path.Class(a), true
-		if i == gi {
-			tc, hier = targetClass, hierarchy
-		}
-		for _, k := range keys {
-			got, err := ix.Lookup(k, tc, hier)
-			if err != nil {
-				return nil, err
-			}
-			oids = append(oids, got...)
-		}
-		sort.Slice(oids, func(x, y int) bool { return oids[x] < oids[y] })
-		oids = dedup(oids)
-		if i == gi {
-			return oids, nil
-		}
-		keys = keys[:0]
-		for _, o := range oids {
-			keys = append(keys, oodb.RefV(o))
-		}
-		if len(keys) == 0 {
-			return nil, nil
-		}
-	}
-	return nil, nil
-}
-
-// QueryRange evaluates A_n IN [lo, hi) for targetClass: the last subpath
-// is range-scanned; each earlier subpath is probed with equality on the
-// OIDs produced by its successor.
-func (c *Configured) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	level, err := c.levelOf(targetClass)
-	if err != nil {
-		return nil, err
-	}
-	gi := c.levelOwner[level-1]
-	last := len(c.Indexes) - 1
-	// Range scan on the last subpath.
-	tc, hier := targetClass, hierarchy
-	if last != gi {
-		tc, hier = c.Path.Class(func() int { a, _ := c.Indexes[last].Bounds(); return a }()), true
-	}
-	oids, err := c.Indexes[last].LookupRange(lo, hi, tc, hier)
-	if err != nil {
-		return nil, err
-	}
-	if last == gi {
-		return oids, nil
-	}
-	// Equality-chain through the earlier subpaths.
-	keys := make([]oodb.Value, 0, len(oids))
-	for _, o := range oids {
-		keys = append(keys, oodb.RefV(o))
-	}
-	for i := last - 1; i >= gi; i-- {
-		if len(keys) == 0 {
-			return nil, nil
-		}
-		ix := c.Indexes[i]
-		a, _ := ix.Bounds()
-		tc, hier := c.Path.Class(a), true
-		if i == gi {
-			tc, hier = targetClass, hierarchy
-		}
-		var next []oodb.OID
-		for _, k := range keys {
-			got, err := ix.Lookup(k, tc, hier)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, got...)
-		}
-		sort.Slice(next, func(x, y int) bool { return next[x] < next[y] })
-		next = dedup(next)
-		if i == gi {
-			return next, nil
-		}
-		keys = keys[:0]
-		for _, o := range next {
-			keys = append(keys, oodb.RefV(o))
-		}
-	}
-	return nil, nil
-}
-
 // NaiveQueryRange evaluates A_n IN [lo, hi) by forward navigation.
 func NaiveQueryRange(st *oodb.Store, p *schema.Path, lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
 	if lo.Kind != hi.Kind {
@@ -315,67 +119,63 @@ func NaiveQueryRange(st *oodb.Store, p *schema.Path, lo, hi oodb.Value, targetCl
 	return naiveMatch(st, p, targetClass, hierarchy, inRange)
 }
 
+// Configured couples an object store with the index structures of one
+// index configuration and keeps them maintained under inserts and
+// deletes. It is a thin wrapper over a single IndexSet; for a database
+// whose configuration can change underneath live traffic, use the
+// lifecycle engine instead.
+type Configured struct {
+	Store *oodb.Store
+	Path  *schema.Path
+	set   *IndexSet
+}
+
+// NewConfigured builds the index structures of cfg over the store's
+// current contents and returns the coupled executor. Index pages are
+// sized pageSize.
+func NewConfigured(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int) (*Configured, error) {
+	set, err := NewIndexSet(st, p, cfg, pageSize, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Configured{Store: st, Path: p, set: set}, nil
+}
+
+// Config returns the configuration the executor was built from.
+func (c *Configured) Config() core.Configuration { return c.set.Config() }
+
+// Query evaluates A_n = value for targetClass through the configuration.
+func (c *Configured) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	c.set.RLock()
+	defer c.set.RUnlock()
+	return c.set.Query(value, targetClass, hierarchy)
+}
+
+// QueryRange evaluates A_n IN [lo, hi) for targetClass.
+func (c *Configured) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	c.set.RLock()
+	defer c.set.RUnlock()
+	return c.set.QueryRange(lo, hi, targetClass, hierarchy)
+}
+
 // Insert stores a new object and maintains the owning subpath's index.
 func (c *Configured) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
-	level, err := c.levelOf(class)
-	if err != nil {
-		return 0, err
-	}
-	oid, err := c.Store.Insert(class, attrs)
-	if err != nil {
-		return 0, err
-	}
-	obj, _ := c.Store.Peek(oid)
-	if err := c.Indexes[c.levelOwner[level-1]].OnInsert(obj); err != nil {
-		return 0, err
-	}
-	return oid, nil
+	return c.set.InsertInto(c.Store, class, attrs)
 }
 
 // Delete removes an object, maintains the owning subpath's index, and —
 // when the object's class starts a subpath — performs the Definition 4.2
-// boundary maintenance on the preceding subpath's index.
+// boundary maintenance on the preceding subpath's index. A missing OID
+// reports oodb.ErrNotFound.
 func (c *Configured) Delete(oid oodb.OID) error {
-	obj, ok := c.Store.Peek(oid)
-	if !ok {
-		return fmt.Errorf("exec: no object %d", oid)
-	}
-	level, err := c.levelOf(obj.Class)
-	if err != nil {
-		return err
-	}
-	gi := c.levelOwner[level-1]
-	if err := c.Indexes[gi].OnDelete(obj); err != nil {
-		return err
-	}
-	if a, _ := c.Indexes[gi].Bounds(); a == level && gi > 0 {
-		if err := c.Indexes[gi-1].BoundaryDelete(oid); err != nil {
-			return err
-		}
-	}
-	return c.Store.Delete(oid)
+	return c.set.DeleteFrom(c.Store, oid)
 }
 
 // IndexStats sums the page-access counters over all subpath indexes.
-func (c *Configured) IndexStats() storage.Stats {
-	var total storage.Stats
-	for _, ix := range c.Indexes {
-		s := ix.Stats()
-		total.Reads += s.Reads
-		total.Writes += s.Writes
-		total.Allocs += s.Allocs
-		total.Frees += s.Frees
-		total.Hits += s.Hits
-	}
-	return total
-}
+func (c *Configured) IndexStats() storage.Stats { return c.set.Stats() }
 
 // ResetStats zeroes all index counters.
-func (c *Configured) ResetStats() {
-	for _, ix := range c.Indexes {
-		ix.ResetStats()
-	}
-}
+func (c *Configured) ResetStats() { c.set.ResetStats() }
 
 func dedup(oids []oodb.OID) []oodb.OID {
 	if len(oids) == 0 {

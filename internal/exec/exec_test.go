@@ -152,6 +152,41 @@ func TestNaiveQueryErrors(t *testing.T) {
 	}
 }
 
+func TestNaiveQuerySkipsDanglingReferences(t *testing.T) {
+	// Deleting a referenced object leaves dangling forward references
+	// (the paper's model permits them). Naive navigation must skip
+	// exactly those — distinguished by oodb.ErrNotFound — rather than
+	// swallowing every store error.
+	ps := smallStats(t)
+	g, err := gen.Generate(ps, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := g.EndValues[0]
+	before, err := NaiveQuery(g.Store, g.Path, value, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Skip("generated database has no matches to begin with")
+	}
+	// Delete every vehicle: all Person.owns references now dangle.
+	for _, cls := range []string{"Vehicle", "Bus", "Truck"} {
+		for _, oid := range g.ByClass[cls] {
+			if err := g.Store.Delete(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after, err := NaiveQuery(g.Store, g.Path, value, "Person", false)
+	if err != nil {
+		t.Fatalf("dangling references not skipped: %v", err)
+	}
+	if len(after) != 0 {
+		t.Errorf("matches through deleted objects: %v", after)
+	}
+}
+
 func TestConfiguredErrors(t *testing.T) {
 	ps := smallStats(t)
 	g, err := gen.Generate(ps, 1, 3)

@@ -1,0 +1,390 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// IndexSet owns the working index structures of one configuration: one
+// PathIndex per assignment, the level-ownership table that routes
+// operations to them, and an optional workload recorder threaded through
+// the query and update paths.
+//
+// An IndexSet is the unit of copy-on-write reconfiguration. A set is
+// immutable in shape — its configuration never changes — so swapping
+// configurations means building a new set (reusing the structures of
+// unchanged assignments via NewIndexSetReusing) and publishing it
+// atomically; queries in flight keep reading the set they started on and
+// never observe a half-built configuration.
+//
+// Locking protocol: the query methods do NOT lock. A caller that owns a
+// single set for its lifetime (Configured) brackets queries with
+// RLock/RUnlock; a caller that swaps sets (the engine) must additionally
+// re-check its current-set pointer after locking, and Drain the old set
+// after a swap before mutating structures the new set adopted. OnInsert
+// and OnDelete take the write lock themselves.
+type IndexSet struct {
+	path *schema.Path
+	cfg  core.Configuration
+
+	// mu serializes index maintenance (W) against lookups (R). The
+	// B+-tree pages underneath are not safe for concurrent read/write.
+	mu sync.RWMutex
+
+	// indexes are ordered like the configuration's assignments (head of
+	// the path first); levelOwner[l-1] is the position owning level l.
+	indexes    []index.PathIndex
+	levelOwner []int
+	levelOf    map[string]int // class -> global path level
+
+	reused int             // structures adopted from a predecessor set
+	rec    *stats.Recorder // optional; nil-safe
+}
+
+// NewIndexSet builds the index structures of cfg over the store's current
+// contents. Index pages are sized pageSize. Objects are loaded deepest
+// level first, respecting the forward-reference order NIX maintenance
+// relies on. rec, when non-nil, receives one count per query and
+// maintained update.
+func NewIndexSet(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int, rec *stats.Recorder) (*IndexSet, error) {
+	return newIndexSet(st, p, cfg, pageSize, rec, nil)
+}
+
+// NewIndexSetReusing is NewIndexSet diffing cfg against a predecessor
+// set: assignments identical in subpath and organization adopt the
+// predecessor's live structure instead of rebuilding it (the structures
+// are continuously maintained, so their contents are current). Only the
+// genuinely new assignments are built and bulk-loaded.
+func NewIndexSetReusing(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int, rec *stats.Recorder, old *IndexSet) (*IndexSet, error) {
+	return newIndexSet(st, p, cfg, pageSize, rec, old)
+}
+
+func newIndexSet(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int, rec *stats.Recorder, old *IndexSet) (*IndexSet, error) {
+	if err := cfg.Validate(p.Len()); err != nil {
+		return nil, err
+	}
+	s := &IndexSet{
+		path:       p,
+		cfg:        cfg,
+		indexes:    make([]index.PathIndex, len(cfg.Assignments)),
+		levelOwner: make([]int, p.Len()),
+		levelOf:    make(map[string]int),
+		rec:        rec,
+	}
+	for l := 1; l <= p.Len(); l++ {
+		for _, cn := range p.HierarchyAt(l) {
+			if _, ok := s.levelOf[cn]; !ok {
+				s.levelOf[cn] = l
+			}
+		}
+	}
+	var fresh []int
+	for i, asg := range cfg.Assignments {
+		for l := asg.A; l <= asg.B; l++ {
+			s.levelOwner[l-1] = i
+		}
+		if old != nil {
+			if ix := old.matching(asg); ix != nil {
+				s.indexes[i] = ix
+				s.reused++
+				continue
+			}
+		}
+		ix, err := index.New(st, p, asg.A, asg.B, asg.Org, pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		s.indexes[i] = ix
+		fresh = append(fresh, i)
+	}
+	// Bulk load, deepest level first within each index (the order NIX
+	// maintenance relies on). Each fresh index owns a disjoint level range
+	// and a dedicated pager, so they load concurrently. Store access is
+	// read-only: Peek does not count page accesses; PX additionally reads
+	// objects through the store's pager, whose atomic counters and locked
+	// buffer bookkeeping make concurrent counting safe (and, with the
+	// store's unbuffered pager, deterministic in total).
+	load := func(i int) error {
+		asg := cfg.Assignments[i]
+		ix := s.indexes[i]
+		for l := asg.B; l >= asg.A; l-- {
+			for _, cn := range p.HierarchyAt(l) {
+				for _, oid := range st.OIDsOfClass(cn) {
+					obj, _ := st.Peek(oid)
+					if err := ix.OnInsert(obj); err != nil {
+						return fmt.Errorf("exec: loading %s: %w", cn, err)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if len(fresh) == 1 {
+		if err := load(fresh[0]); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	errs := make([]error, len(fresh))
+	var wg sync.WaitGroup
+	for k, i := range fresh {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			errs[k] = load(i)
+		}(k, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// matching returns the set's live structure for an identical assignment
+// (same subpath, same organization), or nil.
+func (s *IndexSet) matching(asg core.Assignment) index.PathIndex {
+	for i, a := range s.cfg.Assignments {
+		if a == asg {
+			return s.indexes[i]
+		}
+	}
+	return nil
+}
+
+// Config returns the configuration the set was built from.
+func (s *IndexSet) Config() core.Configuration { return s.cfg }
+
+// Indexes returns the set's structures in assignment order. The slice is
+// the set's own; callers must not modify it.
+func (s *IndexSet) Indexes() []index.PathIndex { return s.indexes }
+
+// Reused returns how many structures were adopted from the predecessor
+// set at construction.
+func (s *IndexSet) Reused() int { return s.reused }
+
+// RLock brackets a batch of queries against concurrent maintenance.
+func (s *IndexSet) RLock() { s.mu.RLock() }
+
+// RUnlock releases RLock.
+func (s *IndexSet) RUnlock() { s.mu.RUnlock() }
+
+// Drain waits until every reader that acquired the set before the call
+// has released it. After a copy-on-write swap the publisher drains the
+// retired set before allowing maintenance on structures the new set
+// adopted, so late readers never race a writer.
+func (s *IndexSet) Drain() {
+	s.mu.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: acquiring the write lock waits out every reader.
+	s.mu.Unlock()
+}
+
+// LevelOf resolves a class to its global path level.
+func (s *IndexSet) LevelOf(class string) (int, error) {
+	if l, ok := s.levelOf[class]; ok {
+		return l, nil
+	}
+	return 0, fmt.Errorf("exec: class %q not in scope of %s", class, s.path)
+}
+
+// Query evaluates A_n = value for targetClass through the configuration:
+// the last subpath is probed with the value; each earlier subpath is
+// probed with the OIDs produced by its successor (Proposition 4.1 made
+// operational). The caller must hold RLock.
+func (s *IndexSet) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	level, err := s.LevelOf(targetClass)
+	if err != nil {
+		return nil, err
+	}
+	s.rec.Record(targetClass, stats.OpQuery)
+	gi := s.levelOwner[level-1]
+	keys := []oodb.Value{value}
+	for i := len(s.indexes) - 1; i >= gi; i-- {
+		ix := s.indexes[i]
+		a, _ := ix.Bounds()
+		var oids []oodb.OID
+		tc, hier := s.path.Class(a), true
+		if i == gi {
+			tc, hier = targetClass, hierarchy
+		}
+		for _, k := range keys {
+			got, err := ix.Lookup(k, tc, hier)
+			if err != nil {
+				return nil, err
+			}
+			oids = append(oids, got...)
+		}
+		sort.Slice(oids, func(x, y int) bool { return oids[x] < oids[y] })
+		oids = dedup(oids)
+		if i == gi {
+			return oids, nil
+		}
+		keys = keys[:0]
+		for _, o := range oids {
+			keys = append(keys, oodb.RefV(o))
+		}
+		if len(keys) == 0 {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// QueryRange evaluates A_n IN [lo, hi) for targetClass: the last subpath
+// is range-scanned; each earlier subpath is probed with equality on the
+// OIDs produced by its successor. The caller must hold RLock.
+func (s *IndexSet) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	level, err := s.LevelOf(targetClass)
+	if err != nil {
+		return nil, err
+	}
+	s.rec.Record(targetClass, stats.OpQuery)
+	gi := s.levelOwner[level-1]
+	last := len(s.indexes) - 1
+	// Range scan on the last subpath.
+	tc, hier := targetClass, hierarchy
+	if last != gi {
+		a, _ := s.indexes[last].Bounds()
+		tc, hier = s.path.Class(a), true
+	}
+	oids, err := s.indexes[last].LookupRange(lo, hi, tc, hier)
+	if err != nil {
+		return nil, err
+	}
+	if last == gi {
+		return oids, nil
+	}
+	// Equality-chain through the earlier subpaths.
+	keys := make([]oodb.Value, 0, len(oids))
+	for _, o := range oids {
+		keys = append(keys, oodb.RefV(o))
+	}
+	for i := last - 1; i >= gi; i-- {
+		if len(keys) == 0 {
+			return nil, nil
+		}
+		ix := s.indexes[i]
+		a, _ := ix.Bounds()
+		tc, hier := s.path.Class(a), true
+		if i == gi {
+			tc, hier = targetClass, hierarchy
+		}
+		var next []oodb.OID
+		for _, k := range keys {
+			got, err := ix.Lookup(k, tc, hier)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, got...)
+		}
+		sort.Slice(next, func(x, y int) bool { return next[x] < next[y] })
+		next = dedup(next)
+		if i == gi {
+			return next, nil
+		}
+		keys = keys[:0]
+		for _, o := range next {
+			keys = append(keys, oodb.RefV(o))
+		}
+	}
+	return nil, nil
+}
+
+// InsertInto stores a new object in st and maintains the owning
+// subpath's index; the single write path shared by Configured and the
+// lifecycle engine. The caller is responsible for serializing store
+// mutations against configuration swaps.
+func (s *IndexSet) InsertInto(st *oodb.Store, class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
+	if _, err := s.LevelOf(class); err != nil {
+		return 0, err
+	}
+	oid, err := st.Insert(class, attrs)
+	if err != nil {
+		return 0, err
+	}
+	obj, _ := st.Peek(oid)
+	if err := s.OnInsert(obj); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// DeleteFrom removes an object from st, maintaining the owning subpath's
+// index and the Definition 4.2 boundary. A missing OID reports
+// oodb.ErrNotFound.
+func (s *IndexSet) DeleteFrom(st *oodb.Store, oid oodb.OID) error {
+	obj, ok := st.Peek(oid)
+	if !ok {
+		return fmt.Errorf("exec: no object %d: %w", oid, oodb.ErrNotFound)
+	}
+	if err := s.OnDelete(obj); err != nil {
+		return err
+	}
+	return st.Delete(oid)
+}
+
+// OnInsert maintains the owning subpath's index for a newly stored
+// object. It takes the write lock itself.
+func (s *IndexSet) OnInsert(obj *oodb.Object) error {
+	level, err := s.LevelOf(obj.Class)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.indexes[s.levelOwner[level-1]].OnInsert(obj); err != nil {
+		return err
+	}
+	s.rec.Record(obj.Class, stats.OpInsert)
+	return nil
+}
+
+// OnDelete maintains the owning subpath's index for an object about to be
+// deleted, and — when the object's class starts a subpath — performs the
+// Definition 4.2 boundary maintenance on the preceding subpath's index.
+// It takes the write lock itself.
+func (s *IndexSet) OnDelete(obj *oodb.Object) error {
+	level, err := s.LevelOf(obj.Class)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gi := s.levelOwner[level-1]
+	if err := s.indexes[gi].OnDelete(obj); err != nil {
+		return err
+	}
+	if a, _ := s.indexes[gi].Bounds(); a == level && gi > 0 {
+		if err := s.indexes[gi-1].BoundaryDelete(obj.OID); err != nil {
+			return err
+		}
+	}
+	s.rec.Record(obj.Class, stats.OpDelete)
+	return nil
+}
+
+// Stats sums the page-access counters over all subpath indexes.
+func (s *IndexSet) Stats() storage.Stats {
+	var total storage.Stats
+	for _, ix := range s.indexes {
+		total.Add(ix.Stats())
+	}
+	return total
+}
+
+// ResetStats zeroes all index counters.
+func (s *IndexSet) ResetStats() {
+	for _, ix := range s.indexes {
+		ix.ResetStats()
+	}
+}

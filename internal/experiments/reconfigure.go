@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/stats"
+)
+
+// ReconfigureReport records the online-reconfiguration experiment (E1):
+// the engine serves two workload phases with opposite mixes; after each
+// phase the drift, the re-selected configuration and the diff-build
+// economy (structures reused vs rebuilt) are recorded.
+type ReconfigureReport struct {
+	Phases []ReconfigurePhase
+}
+
+// ReconfigurePhase is one workload phase's outcome.
+type ReconfigurePhase struct {
+	Name    string
+	Ops     uint64
+	Drift   float64
+	From    core.Configuration
+	To      core.Configuration
+	Changed bool
+	Reused  int
+	Built   int
+}
+
+// RunReconfigure drives the lifecycle engine through a workload flip on a
+// generated Figure 7 database: a query-heavy reporting phase the initial
+// configuration was selected for, then an update-heavy ingest phase. Each
+// phase ends with a synchronous Reconfigure; the second must swap.
+func RunReconfigure(seed int64) (ReconfigureReport, error) {
+	var rep ReconfigureReport
+	g, err := gen.Generate(model.Figure7Stats(), 0.01, seed)
+	if err != nil {
+		return rep, err
+	}
+	assumed, err := stats.Collect(g.Store, g.Path, model.PaperParams())
+	if err != nil {
+		return rep, err
+	}
+	if err := assumed.SetLoad(1, "Person", model.Load{Alpha: 1}); err != nil {
+		return rep, err
+	}
+	if err := assumed.SetLoad(4, "Division", model.Load{Beta: 0.02, Gamma: 0.02}); err != nil {
+		return rep, err
+	}
+	initial, _, err := core.Select(assumed, cost.Organizations)
+	if err != nil {
+		return rep, err
+	}
+	e, err := engine.New(g.Store, g.Path, initial.Best, model.PaperParams().PageSize, engine.Options{
+		Params:  model.PaperParams(),
+		Assumed: assumed,
+		MinOps:  32,
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	phase := func(name string, traffic func() error) error {
+		if err := traffic(); err != nil {
+			return err
+		}
+		w := e.WorkloadSnapshot()
+		r, err := e.Reconfigure()
+		if err != nil {
+			return err
+		}
+		rep.Phases = append(rep.Phases, ReconfigurePhase{
+			Name: name, Ops: w.Total, Drift: r.Drift,
+			From: r.From, To: r.To, Changed: r.Changed,
+			Reused: r.Reused, Built: r.Built,
+		})
+		return nil
+	}
+
+	if err := phase("reporting", func() error {
+		for i := 0; i < 200; i++ {
+			if _, err := e.Query(g.EndValues[i%len(g.EndValues)], "Person", false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return rep, err
+	}
+	if err := phase("ingest", func() error {
+		for i := 0; i < 200; i++ {
+			oid, err := e.Insert("Division", map[string][]oodb.Value{"name": {g.EndValues[i%len(g.EndValues)]}})
+			if err != nil {
+				return err
+			}
+			if i%2 == 0 {
+				if err := e.Delete(oid); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Render returns the report as text.
+func (r ReconfigureReport) Render() string {
+	t := NewTable("E1 — online reconfiguration under workload drift",
+		"phase", "ops", "drift", "swapped", "reused", "built", "configuration")
+	for _, p := range r.Phases {
+		cfg := p.From.String()
+		if p.Changed {
+			cfg = fmt.Sprintf("%v -> %v", p.From, p.To)
+		}
+		t.AddRow(p.Name, p.Ops, p.Drift, p.Changed, p.Reused, p.Built, cfg)
+	}
+	return t.Render()
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReconfigureReport(t *testing.T) {
+	rep, err := RunReconfigure(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(rep.Phases))
+	}
+	reporting, ingest := rep.Phases[0], rep.Phases[1]
+	// The initial configuration was selected for the reporting phase's
+	// workload: serving it must not trigger a swap.
+	if reporting.Changed {
+		t.Errorf("reporting phase swapped: %+v", reporting)
+	}
+	if reporting.Drift > 0.2 {
+		t.Errorf("reporting drift = %g, want small", reporting.Drift)
+	}
+	// The ingest phase flips the mix: the engine must detect the drift
+	// and swap to a different configuration.
+	if !ingest.Changed {
+		t.Errorf("ingest phase did not swap: %+v", ingest)
+	}
+	if ingest.Drift < 0.3 {
+		t.Errorf("ingest drift = %g, want substantial", ingest.Drift)
+	}
+	if ingest.From.Equal(ingest.To) {
+		t.Errorf("swap kept the configuration: %v", ingest.From)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "reporting") || !strings.Contains(out, "ingest") {
+		t.Errorf("render missing phases:\n%s", out)
+	}
+}

@@ -6,11 +6,20 @@
 package oodb
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
+
+// ErrNotFound reports a lookup of an OID with no live object — either one
+// that never existed or one already deleted. Callers navigating forward
+// references test for it with errors.Is to distinguish a dangling
+// reference (expected under the paper's forward-reference model) from a
+// genuine store failure.
+var ErrNotFound = errors.New("object not found")
 
 // OID identifies an object; zero is never valid.
 type OID uint64
@@ -119,9 +128,20 @@ type pageSlot struct {
 }
 
 // Store is the object database.
+//
+// Concurrency: objects are immutable once inserted, and the catalog maps
+// are guarded by an RWMutex — readers (Get, Peek, the scans, OID
+// listings) run concurrently with each other and serialize only against
+// Insert and Delete. This is what lets the engine collect statistics and
+// bulk-load replacement indexes in the background while queries keep
+// flowing. The scan callbacks run outside the lock (on an immutable
+// snapshot of the class's objects), so a callback may itself re-enter the
+// store without risking a recursive read-lock deadlock.
 type Store struct {
-	schema  *schema.Schema
-	pager   *storage.Pager
+	schema *schema.Schema
+	pager  *storage.Pager
+
+	mu      sync.RWMutex // guards next, objects, objPage, classPages
 	next    OID
 	objects map[OID]*Object
 	objPage map[OID]*pageSlot
@@ -156,10 +176,16 @@ func (st *Store) Schema() *schema.Schema { return st.schema }
 func (st *Store) Pager() *storage.Pager { return st.pager }
 
 // Len returns the number of live objects.
-func (st *Store) Len() int { return len(st.objects) }
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.objects)
+}
 
 // ClassCount returns the number of objects of exactly the given class.
 func (st *Store) ClassCount(class string) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var n int
 	for _, slot := range st.classPages[class] {
 		n += len(slot.oids)
@@ -172,6 +198,8 @@ func (st *Store) ClassCount(class string) int {
 // inherited attributes); reference values must point at live objects of
 // the declared domain (or a subclass of it).
 func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.schema.Class(class) == nil {
 		return 0, fmt.Errorf("oodb: unknown class %q", class)
 	}
@@ -235,11 +263,14 @@ func (st *Store) placeObject(obj *Object) *pageSlot {
 	return slot
 }
 
-// Get fetches an object, counting one page read.
+// Get fetches an object, counting one page read. A missing OID reports
+// ErrNotFound.
 func (st *Store) Get(oid OID) (*Object, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	obj, ok := st.objects[oid]
 	if !ok {
-		return nil, fmt.Errorf("oodb: no object %d", oid)
+		return nil, fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
 	}
 	if _, err := st.pager.Read(st.objPage[oid].page.ID); err != nil {
 		panic("oodb: lost page: " + err.Error())
@@ -250,17 +281,22 @@ func (st *Store) Get(oid OID) (*Object, error) {
 // Peek returns an object without counting a page access; for test
 // assertions and internal bookkeeping that would not touch disk.
 func (st *Store) Peek(oid OID) (*Object, bool) {
+	st.mu.RLock()
 	obj, ok := st.objects[oid]
+	st.mu.RUnlock()
 	return obj, ok
 }
 
 // Delete removes an object, counting a page write (and freeing the page if
 // it empties). Dangling references from other objects are permitted, as in
 // the paper's forward-reference model; index maintenance handles them.
+// A missing OID reports ErrNotFound.
 func (st *Store) Delete(oid OID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	obj, ok := st.objects[oid]
 	if !ok {
-		return fmt.Errorf("oodb: no object %d", oid)
+		return fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
 	}
 	slot := st.objPage[oid]
 	delete(slot.oids, oid)
@@ -286,17 +322,27 @@ func (st *Store) Delete(oid OID) error {
 	return nil
 }
 
-// ScanClass iterates the objects of exactly the given class, counting one
-// page read per page; fn returning false stops the scan.
+// ScanClass iterates the objects of exactly the given class; fn
+// returning false stops the scan. The class's objects are snapshotted
+// under the read lock and fn runs outside it, so fn may re-enter the
+// store (e.g. navigate references with Get). Page-access accounting is
+// per class, not per page visited: every page of the class counts one
+// read when the snapshot is taken, even if fn stops the iteration early.
 func (st *Store) ScanClass(class string, fn func(*Object) bool) {
+	st.mu.RLock()
+	var objs []*Object
 	for _, slot := range st.classPages[class] {
 		if _, err := st.pager.Read(slot.page.ID); err != nil {
 			panic("oodb: lost page: " + err.Error())
 		}
 		for oid := range slot.oids {
-			if !fn(st.objects[oid]) {
-				return
-			}
+			objs = append(objs, st.objects[oid])
+		}
+	}
+	st.mu.RUnlock()
+	for _, obj := range objs {
+		if !fn(obj) {
+			return
 		}
 	}
 }
@@ -321,6 +367,8 @@ func (st *Store) ScanHierarchy(root string, fn func(*Object) bool) {
 // OIDsOfClass returns the OIDs of the class's objects (no page accesses;
 // catalog information).
 func (st *Store) OIDsOfClass(class string) []OID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var out []OID
 	for _, slot := range st.classPages[class] {
 		for oid := range slot.oids {
@@ -331,4 +379,8 @@ func (st *Store) OIDsOfClass(class string) []OID {
 }
 
 // PagesOfClass returns the number of pages used by a class.
-func (st *Store) PagesOfClass(class string) int { return len(st.classPages[class]) }
+func (st *Store) PagesOfClass(class string) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.classPages[class])
+}

@@ -1,6 +1,8 @@
 package oodb
 
 import (
+	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/schema"
@@ -34,6 +36,82 @@ func TestInsertGet(t *testing.T) {
 	if st.Len() != 1 || st.ClassCount("Company") != 1 {
 		t.Errorf("counts: len=%d class=%d", st.Len(), st.ClassCount("Company"))
 	}
+}
+
+func TestErrNotFoundSentinel(t *testing.T) {
+	st := newStore(t)
+	if _, err := st.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := st.Delete(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete(missing) = %v, want ErrNotFound", err)
+	}
+	oid, err := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(oid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	// Readers (Get, scans, catalog listings) race one writer goroutine;
+	// run under -race this exercises the store's RWMutex protocol,
+	// including scan callbacks that re-enter the store.
+	st := newStore(t)
+	var oids []OID
+	for i := 0; i < 50; i++ {
+		oid, err := st.Insert("Division", map[string][]Value{"name": {IntV(int64(i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			oid, err := st.Insert("Company", map[string][]Value{"divs": {RefV(oids[i%len(oids)])}})
+			if err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				if err := st.Delete(oid); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				st.ScanClass("Company", func(o *Object) bool {
+					for _, ref := range o.Refs("divs") {
+						// Re-entering the store from the callback must
+						// not deadlock; the target may have been
+						// deleted meanwhile.
+						if _, err := st.Get(ref); err != nil && !errors.Is(err, ErrNotFound) {
+							t.Errorf("get: %v", err)
+						}
+					}
+					return true
+				})
+				st.Len()
+				st.OIDsOfClass("Division")
+				st.ClassCount("Company")
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestInsertValidation(t *testing.T) {

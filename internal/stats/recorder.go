@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+// Op identifies one recorded operation kind, mirroring the Section 3.2
+// workload triplet: queries (alpha), insertions (beta), deletions (gamma).
+type Op uint8
+
+const (
+	OpQuery Op = iota
+	OpInsert
+	OpDelete
+	numOps
+)
+
+// Recorder counts the live workload over one path's scope. Counters are
+// per (level, class, operation) and atomic — recording is lock-free, so
+// it can sit on the executor's query and update paths without serializing
+// them. A class appearing at several levels of the path is attributed to
+// its first occurrence, matching the executor's level resolution.
+type Recorder struct {
+	slot    map[string]int // class -> slot; read-only after construction
+	classes []recClass     // slot -> (level, class)
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+}
+
+type recClass struct {
+	level int
+	class string
+}
+
+// NewRecorder returns a zeroed recorder for the path's scope.
+func NewRecorder(p *schema.Path) *Recorder {
+	r := &Recorder{slot: make(map[string]int)}
+	for l := 1; l <= p.Len(); l++ {
+		for _, cn := range p.HierarchyAt(l) {
+			if _, ok := r.slot[cn]; ok {
+				continue
+			}
+			r.slot[cn] = len(r.classes)
+			r.classes = append(r.classes, recClass{level: l, class: cn})
+		}
+	}
+	r.counts = make([]atomic.Uint64, len(r.classes)*int(numOps))
+	return r
+}
+
+// Record counts one operation against a class, returning false when the
+// class is outside the path's scope (nothing is counted then).
+func (r *Recorder) Record(class string, op Op) bool {
+	if r == nil || op >= numOps {
+		return false
+	}
+	i, ok := r.slot[class]
+	if !ok {
+		return false
+	}
+	r.counts[i*int(numOps)+int(op)].Add(1)
+	r.total.Add(1)
+	return true
+}
+
+// Total returns the number of operations recorded since the last reset.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Reset zeroes all counters. Concurrent Records may land on either side
+// of the reset; the counters are workload statistics, not a ledger.
+func (r *Recorder) Reset() {
+	for i := range r.counts {
+		r.counts[i].Store(0)
+	}
+	r.total.Store(0)
+}
+
+// ClassLoad is one class's observed operation counts.
+type ClassLoad struct {
+	Level   int
+	Class   string
+	Queries uint64
+	Inserts uint64
+	Deletes uint64
+}
+
+// Ops returns the class's total operation count.
+func (c ClassLoad) Ops() uint64 { return c.Queries + c.Inserts + c.Deletes }
+
+// Workload is a point-in-time view of the recorded traffic: one entry per
+// class of the path's scope, in path order. Total is the sum over entries
+// (recomputed from the per-class counters, so it is internally consistent
+// even when taken mid-traffic).
+type Workload struct {
+	Total   uint64
+	Classes []ClassLoad
+}
+
+// Snapshot captures the current counters.
+func (r *Recorder) Snapshot() Workload {
+	var w Workload
+	w.Classes = make([]ClassLoad, len(r.classes))
+	for i, rc := range r.classes {
+		c := ClassLoad{
+			Level:   rc.level,
+			Class:   rc.class,
+			Queries: r.counts[i*int(numOps)+int(OpQuery)].Load(),
+			Inserts: r.counts[i*int(numOps)+int(OpInsert)].Load(),
+			Deletes: r.counts[i*int(numOps)+int(OpDelete)].Load(),
+		}
+		w.Classes[i] = c
+		w.Total += c.Ops()
+	}
+	return w
+}
+
+// MergeObserved writes the observed workload into ps's load triplets as
+// relative frequencies normalized to sum one — the Section 3.2 form the
+// cost model expects. Classes with no observed traffic get a zero triplet:
+// the observation replaces the assumed workload rather than blending with
+// it, so re-selection reflects what the system actually served.
+func MergeObserved(ps *model.PathStats, w Workload) error {
+	if ps == nil {
+		return fmt.Errorf("stats: nil path stats")
+	}
+	if w.Total == 0 {
+		return fmt.Errorf("stats: empty observed workload")
+	}
+	for l := 1; l <= ps.Len(); l++ {
+		ls := ps.Level(l)
+		for i := range ls.Loads {
+			ls.Loads[i] = model.Load{}
+		}
+	}
+	t := float64(w.Total)
+	for _, c := range w.Classes {
+		if c.Ops() == 0 {
+			continue
+		}
+		load := model.Load{
+			Alpha: float64(c.Queries) / t,
+			Beta:  float64(c.Inserts) / t,
+			Gamma: float64(c.Deletes) / t,
+		}
+		if err := ps.SetLoad(c.Level, c.Class, load); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDrift returns the total-variation distance in [0, 1] between the
+// load distribution assumed by ps and the observed workload: both are
+// normalized over the (level, class, operation) cells and half the L1
+// distance is taken. Zero means the observed mix matches the assumption
+// exactly; one means disjoint support. An all-zero assumption drifts
+// maximally as soon as any traffic is observed.
+func LoadDrift(ps *model.PathStats, w Workload) float64 {
+	type cell struct {
+		level int
+		class string
+	}
+	assumed := make(map[cell]model.Load)
+	var assumedSum float64
+	for l := 1; l <= ps.Len(); l++ {
+		ls := ps.Level(l)
+		for i, c := range ls.Classes {
+			ld := ls.Loads[i]
+			assumed[cell{l, c.Class}] = ld
+			assumedSum += ld.Alpha + ld.Beta + ld.Gamma
+		}
+	}
+	if w.Total == 0 {
+		return 0
+	}
+	if assumedSum <= 0 {
+		return 1
+	}
+	obsSum := float64(w.Total)
+	var dist float64
+	seen := make(map[cell]bool)
+	for _, c := range w.Classes {
+		key := cell{c.Level, c.Class}
+		seen[key] = true
+		a := assumed[key]
+		dist += math.Abs(a.Alpha/assumedSum - float64(c.Queries)/obsSum)
+		dist += math.Abs(a.Beta/assumedSum - float64(c.Inserts)/obsSum)
+		dist += math.Abs(a.Gamma/assumedSum - float64(c.Deletes)/obsSum)
+	}
+	// Assumed load on classes the observation has no entry for (e.g. a
+	// different-but-overlapping path scope) counts fully toward the
+	// distance.
+	for key, a := range assumed {
+		if !seen[key] {
+			dist += (a.Alpha + a.Beta + a.Gamma) / assumedSum
+		}
+	}
+	return dist / 2
+}

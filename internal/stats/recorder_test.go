@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+func TestRecorderCountsAndSnapshot(t *testing.T) {
+	p := schema.PaperPathOwnsManDivsName()
+	r := NewRecorder(p)
+
+	if r.Record("Nope", OpQuery) {
+		t.Error("recorded a class outside the path's scope")
+	}
+	for i := 0; i < 3; i++ {
+		if !r.Record("Person", OpQuery) {
+			t.Fatal("Person not in scope")
+		}
+	}
+	r.Record("Bus", OpInsert)
+	r.Record("Bus", OpInsert)
+	r.Record("Division", OpDelete)
+
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", r.Total())
+	}
+	w := r.Snapshot()
+	if w.Total != 6 {
+		t.Fatalf("snapshot total = %d, want 6", w.Total)
+	}
+	byClass := make(map[string]ClassLoad)
+	for _, c := range w.Classes {
+		byClass[c.Class] = c
+	}
+	if c := byClass["Person"]; c.Queries != 3 || c.Level != 1 {
+		t.Errorf("Person = %+v", c)
+	}
+	if c := byClass["Bus"]; c.Inserts != 2 || c.Level != 2 {
+		t.Errorf("Bus = %+v", c)
+	}
+	if c := byClass["Division"]; c.Deletes != 1 || c.Level != 4 {
+		t.Errorf("Division = %+v", c)
+	}
+
+	r.Reset()
+	if r.Total() != 0 || r.Snapshot().Total != 0 {
+		t.Error("reset did not zero the counters")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	p := schema.PaperPathOwnsManDivsName()
+	r := NewRecorder(p)
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record("Person", OpQuery)
+				r.Record("Company", OpInsert)
+			}
+		}()
+	}
+	wg.Wait()
+	w := r.Snapshot()
+	if w.Total != goroutines*each*2 {
+		t.Fatalf("total = %d, want %d", w.Total, goroutines*each*2)
+	}
+	for _, c := range w.Classes {
+		switch c.Class {
+		case "Person":
+			if c.Queries != goroutines*each {
+				t.Errorf("Person queries = %d", c.Queries)
+			}
+		case "Company":
+			if c.Inserts != goroutines*each {
+				t.Errorf("Company inserts = %d", c.Inserts)
+			}
+		}
+	}
+}
+
+func TestMergeObserved(t *testing.T) {
+	ps := model.Figure7Stats()
+	p := ps.Path
+	r := NewRecorder(p)
+	for i := 0; i < 6; i++ {
+		r.Record("Person", OpQuery)
+	}
+	r.Record("Person", OpInsert)
+	r.Record("Company", OpDelete)
+
+	if err := MergeObserved(ps, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for l := 1; l <= ps.Len(); l++ {
+		for _, ld := range ps.Level(l).Loads {
+			sum += ld.Alpha + ld.Beta + ld.Gamma
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("normalized loads sum to %g, want 1", sum)
+	}
+	got := ps.Level(1).Loads[0]
+	if math.Abs(got.Alpha-6.0/8) > 1e-12 || math.Abs(got.Beta-1.0/8) > 1e-12 || got.Gamma != 0 {
+		t.Errorf("Person load = %+v", got)
+	}
+	// Classes with no traffic are zeroed, not left at the assumed values.
+	if ld := ps.Level(4).Loads[0]; ld != (model.Load{}) {
+		t.Errorf("Division load = %+v, want zero", ld)
+	}
+
+	if err := MergeObserved(ps, Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestLoadDrift(t *testing.T) {
+	ps := model.Figure7Stats()
+	r := NewRecorder(ps.Path)
+
+	// No traffic: no evidence of drift.
+	if d := LoadDrift(ps, r.Snapshot()); d != 0 {
+		t.Errorf("drift with no traffic = %g", d)
+	}
+
+	// Traffic distributed exactly like the assumption: near-zero drift.
+	// Figure 7 loads sum to 2.0, so 1000*weight/2 operations per cell
+	// reproduce the distribution up to rounding.
+	for l := 1; l <= ps.Len(); l++ {
+		ls := ps.Level(l)
+		for i, c := range ls.Classes {
+			ld := ls.Loads[i]
+			for k := 0; k < int(ld.Alpha*500); k++ {
+				r.Record(c.Class, OpQuery)
+			}
+			for k := 0; k < int(ld.Beta*500); k++ {
+				r.Record(c.Class, OpInsert)
+			}
+			for k := 0; k < int(ld.Gamma*500); k++ {
+				r.Record(c.Class, OpDelete)
+			}
+		}
+	}
+	if d := LoadDrift(ps, r.Snapshot()); d > 0.02 {
+		t.Errorf("drift under matching traffic = %g", d)
+	}
+
+	// A flipped workload (all deletes where queries were assumed) drifts.
+	r.Reset()
+	for k := 0; k < 100; k++ {
+		r.Record("Person", OpDelete)
+	}
+	if d := LoadDrift(ps, r.Snapshot()); d < 0.5 {
+		t.Errorf("drift under flipped traffic = %g, want substantial", d)
+	}
+
+	// An all-zero assumption drifts maximally once traffic appears.
+	zero := model.NewPathStats(ps.Path, model.PaperParams())
+	if d := LoadDrift(zero, r.Snapshot()); d != 1 {
+		t.Errorf("drift against zero assumption = %g, want 1", d)
+	}
+}

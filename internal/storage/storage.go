@@ -35,6 +35,16 @@ type Stats struct {
 // Accesses returns reads+writes, the paper's page-access metric.
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
 
+// Add accumulates o into s, counter by counter; for summing the stats of
+// several pagers (e.g. one per subpath index).
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Allocs += o.Allocs
+	s.Frees += o.Frees
+	s.Hits += o.Hits
+}
+
 // lruNode is one entry of the buffer pool's intrusive recency list.
 type lruNode struct {
 	prev, next *lruNode
