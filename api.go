@@ -106,6 +106,10 @@ type (
 	ReconfigureReport = engine.Report
 	// Workload is a point-in-time view of the recorded live traffic.
 	Workload = stats.Workload
+	// Probe is one point query of a batch passed to Database.QueryBatch:
+	// the batch fans across a bounded worker pool and returns results in
+	// probe order, bit-identical to issuing the probes sequentially.
+	Probe = exec.Probe
 	// Generated is a synthetic database materialized from statistics.
 	Generated = gen.Generated
 )

@@ -9,6 +9,7 @@ package ooindex
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/oodb"
 )
 
 // BenchmarkFig6Selection regenerates Figure 6's walkthrough: the
@@ -331,6 +333,89 @@ func BenchmarkQueryRangeConfigured(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(db.IndexStats().Accesses())/float64(b.N), "page-accesses/op")
+}
+
+// BenchmarkServe measures the serving path under concurrency (experiment
+// E2's microbenchmark): g goroutines drive steady-state point queries
+// through the lifecycle engine on the Example 5.1 optimal configuration,
+// each with a reused result buffer, so the per-op report shows 0 allocs
+// and the ops/sec metric exposes the 1→8 goroutine scaling curve. Reads
+// are lock-free end to end (atomic set snapshot, sync.Map page table,
+// striped counters), so on a multi-core host throughput scales near-
+// linearly with GOMAXPROCS.
+func BenchmarkServe(b *testing.B) {
+	ps := Figure7Stats()
+	g, err := gen.Generate(ps, 0.01, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: NIX}, {A: 3, B: 4, Org: MX},
+	}}
+	db, err := Open(g.Store, g.Path, cfg, ps.Params.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				n := b.N / workers
+				if w < b.N%workers {
+					n++
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					var buf []oodb.OID
+					var err error
+					for i := 0; i < n; i++ {
+						v := g.EndValues[(w*7919+i)%len(g.EndValues)]
+						if buf, err = db.QueryInto(buf[:0], v, "Person", false); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, n)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
+}
+
+// BenchmarkServeBatch measures the batched probe API: one QueryBatch call
+// per b.N/batch operations, fanned across the worker pool.
+func BenchmarkServeBatch(b *testing.B) {
+	ps := Figure7Stats()
+	g, err := gen.Generate(ps, 0.01, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: 2, Org: NIX}, {A: 3, B: 4, Org: MX},
+	}}
+	db, err := Open(g.Store, g.Path, cfg, ps.Params.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 256
+	probes := make([]Probe, batch)
+	for i := range probes {
+		probes[i] = Probe{Value: g.EndValues[i%len(g.EndValues)], TargetClass: "Person"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryBatch(probes); err != nil {
+			b.Fatal(err)
+		}
+		ops += batch
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "probes/sec")
 }
 
 // BenchmarkReconfigure measures one online configuration swap (experiment

@@ -12,9 +12,12 @@
 //	ixbench -run selectivity  # range-predicate sweep (R1)
 //	ixbench -run buffer       # buffer-pool ablation (B1)
 //	ixbench -run reconfig     # online reconfiguration under drift (E1)
+//	ixbench -run serve        # serving throughput under concurrency (E2);
+//	                          # emits BENCH_serve.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,19 +27,21 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all|fig6|fig8|complexity|validate|workload|sweep|extended|selectivity|buffer|reconfig")
+	run := flag.String("run", "all", "experiment to run: all|fig6|fig8|complexity|validate|workload|sweep|extended|selectivity|buffer|reconfig|serve")
 	maxN := flag.Int("maxn", 10, "maximum path length for complexity/sweep experiments")
 	trials := flag.Int("trials", 20, "random matrices per length in the complexity experiment")
 	seed := flag.Int64("seed", 42, "random seed for generated databases and matrices")
+	serveOps := flag.Int("serve-ops", 2000, "operations per worker in the serve experiment")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for the serve experiment's JSON report")
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -121,6 +126,23 @@ func runExperiments(which string, maxN, trials int, seed int64) error {
 			return err
 		}
 		fmt.Println(rep.Render())
+	}
+	if want("serve") {
+		ran = true
+		section("E2 — serving throughput under concurrency")
+		rep, err := experiments.RunServe(seed, []int{1, 2, 4, 8}, serveOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(serveOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", serveOut)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)

@@ -166,50 +166,71 @@ func (t *Tree) freeRecord(r *record) {
 	}
 }
 
-// readRecord counts the page accesses of reading a record's value:
+// countRecord counts the page accesses of reading a record's full value:
 // overflow pages are read individually; inline values ride along with the
-// already-visited leaf.
-func (t *Tree) readRecord(r *record) []byte {
+// already-visited leaf and count nothing.
+func (t *Tree) countRecord(r *record) {
 	for _, id := range r.overflow {
 		if _, err := t.pager.Read(id); err != nil {
 			panic(fmt.Sprintf("btree %s: lost overflow page %d: %v", t.name, id, err))
 		}
 	}
-	return append([]byte(nil), r.inline...)
 }
 
-// Get returns the value stored under key, reading the full record.
-func (t *Tree) Get(key []byte) ([]byte, bool) {
+// descend walks from the root to the leaf covering key, counting every
+// node visit. The descent is read-only and allocation-free: it compares
+// against the nodes' own key slices and never copies them.
+func (t *Tree) descend(key []byte) *node {
 	n := t.root
 	t.visit(n)
 	for !n.leaf {
 		n = n.kids[childIndex(n.keys, key)]
 		t.visit(n)
 	}
+	return n
+}
+
+// Get returns the value stored under key, reading the full record.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	return t.GetInto(key, nil)
+}
+
+// GetInto is Get appending the value to dst instead of allocating a fresh
+// slice — the allocation-free read kernel of the serving path. Inline
+// records take a fast path that never touches the overflow machinery: the
+// value is appended straight off the already-visited leaf.
+func (t *Tree) GetInto(key, dst []byte) ([]byte, bool) {
+	n := t.descend(key)
 	i, ok := leafIndex(n.keys, key)
 	if !ok {
-		return nil, false
+		return dst, false
 	}
-	return t.readRecord(n.vals[i]), true
+	r := n.vals[i]
+	if len(r.overflow) == 0 {
+		return append(dst, r.inline...), true
+	}
+	t.countRecord(r)
+	return append(dst, r.inline...), true
 }
 
 // GetSection returns value[off:off+length] reading only the overflow pages
 // that cover the section — the partial-record retrieval the NIX primary
 // index performs through its class directory (Figure 3).
 func (t *Tree) GetSection(key []byte, off, length int) ([]byte, bool) {
-	n := t.root
-	t.visit(n)
-	for !n.leaf {
-		n = n.kids[childIndex(n.keys, key)]
-		t.visit(n)
-	}
+	return t.GetSectionInto(key, off, length, nil)
+}
+
+// GetSectionInto is GetSection appending the section to dst. On a miss or
+// an out-of-bounds offset dst is returned unchanged.
+func (t *Tree) GetSectionInto(key []byte, off, length int, dst []byte) ([]byte, bool) {
+	n := t.descend(key)
 	i, ok := leafIndex(n.keys, key)
 	if !ok {
-		return nil, false
+		return dst, false
 	}
 	r := n.vals[i]
 	if off < 0 || off > r.length {
-		return nil, false
+		return dst, false
 	}
 	end := off + length
 	if end > r.length {
@@ -228,7 +249,7 @@ func (t *Tree) GetSection(key []byte, off, length int) ([]byte, bool) {
 			}
 		}
 	}
-	return append([]byte(nil), r.inline[off:end]...), true
+	return append(dst, r.inline[off:end]...), true
 }
 
 // Insert stores val under key, replacing any existing value.
@@ -346,29 +367,27 @@ func (t *Tree) Delete(key []byte) bool {
 }
 
 // Ascend calls fn for every key/value in order until fn returns false.
-// Each leaf page and overflow page read is counted.
+// Each leaf page and overflow page read is counted. Key and value are
+// fresh copies the callback may retain.
 func (t *Tree) Ascend(fn func(key, val []byte) bool) {
-	n := t.root
-	t.visit(n)
-	for !n.leaf {
-		n = n.kids[0]
-		t.visit(n)
-	}
-	for ; n != nil; n = n.next {
-		for i := range n.keys {
-			if !fn(append([]byte(nil), n.keys[i]...), t.readRecord(n.vals[i])) {
-				return
-			}
-		}
-		if n.next != nil {
-			t.visit(n.next)
-		}
-	}
+	t.AscendRange(nil, nil, fn)
 }
 
 // AscendRange calls fn for keys in [lo, hi) in order until fn returns
 // false. A nil lo starts at the smallest key; nil hi runs to the end.
+// Key and value are fresh copies the callback may retain.
 func (t *Tree) AscendRange(lo, hi []byte, fn func(key, val []byte) bool) {
+	t.ScanInto(lo, hi, func(key, val []byte) bool {
+		return fn(append([]byte(nil), key...), append([]byte(nil), val...))
+	})
+}
+
+// ScanInto is AscendRange without the defensive copies: key and val alias
+// the tree's internal buffers and are valid only for the duration of the
+// callback, which must not modify or retain them. It is the
+// allocation-free kernel range scans and bulk decoders run on; page-access
+// accounting is identical to AscendRange.
+func (t *Tree) ScanInto(lo, hi []byte, fn func(key, val []byte) bool) {
 	n := t.root
 	t.visit(n)
 	for !n.leaf {
@@ -387,7 +406,8 @@ func (t *Tree) AscendRange(lo, hi []byte, fn func(key, val []byte) bool) {
 			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
 				return
 			}
-			if !fn(append([]byte(nil), n.keys[i]...), t.readRecord(n.vals[i])) {
+			t.countRecord(n.vals[i])
+			if !fn(n.keys[i], n.vals[i].inline) {
 				return
 			}
 		}

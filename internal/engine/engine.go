@@ -209,6 +209,32 @@ func (e *Engine) Query(value oodb.Value, targetClass string, hierarchy bool) ([]
 	return out, err
 }
 
+// QueryInto is Query appending the result to dst — the allocation-free
+// serving kernel: with a reused dst a steady-state point query performs
+// no heap allocation end to end (snapshot, record, index probes, result).
+func (e *Engine) QueryInto(dst []oodb.OID, value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	s := e.snapshot()
+	dst, err := s.QueryInto(dst, value, targetClass, hierarchy)
+	s.RUnlock()
+	e.maybeAutoTune()
+	return dst, err
+}
+
+// QueryBatch evaluates a batch of point probes against one atomic
+// snapshot of the active configuration, fanning them across a bounded
+// worker pool. Results are in probe order and bit-identical to issuing
+// the probes sequentially; the workload recorder sees the same counts. A
+// reconfiguration concurrent with the batch swaps the active set but
+// never blocks it — the whole batch answers from the snapshot it started
+// on.
+func (e *Engine) QueryBatch(probes []exec.Probe) ([][]oodb.OID, error) {
+	s := e.snapshot()
+	out, err := s.QueryBatch(probes)
+	s.RUnlock()
+	e.maybeAutoTuneN(uint64(len(probes)))
+	return out, err
+}
+
 // QueryRange evaluates A_n IN [lo, hi) for targetClass through the
 // active configuration.
 func (e *Engine) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
@@ -409,15 +435,20 @@ func (e *Engine) adoptBaseline(ps *model.PathStats) {
 // check window doubles (capped at 64x), so a persistently failing swap
 // does not become a repeating burst of background collect-and-build
 // work. Failures are visible through LastAutoTune.
-func (e *Engine) maybeAutoTune() {
+func (e *Engine) maybeAutoTune() { e.maybeAutoTuneN(1) }
+
+// maybeAutoTuneN is maybeAutoTune crediting n operations at once (a batch
+// counts each of its probes); the drift check fires when the window
+// boundary is crossed anywhere within the n operations.
+func (e *Engine) maybeAutoTuneN(n uint64) {
 	every := e.opts.CheckEvery
-	if every == 0 {
+	if every == 0 || n == 0 {
 		return
 	}
 	if streak := e.failStreak.Load(); streak > 0 {
 		every <<= min(streak, 6)
 	}
-	if e.ops.Add(1)%every != 0 {
+	if v := e.ops.Add(n); v/every == (v-n)/every {
 		return
 	}
 	if e.Drift() < e.opts.DriftThreshold {

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/raceflag"
+)
+
+// TestQueryBatchMatchesSequentialThroughEngine drives the same probes
+// through Query and QueryBatch on identically built engines and demands
+// bit-identical results and workload snapshots.
+func TestQueryBatchMatchesSequentialThroughEngine(t *testing.T) {
+	g := figure7DB(t)
+	seq, err := New(g.Store, g.Path, cfgSplit, 1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := New(g.Store, g.Path, cfgSplit, 1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([]exec.Probe, 120)
+	for i := range probes {
+		probes[i] = exec.Probe{
+			Value:       g.EndValues[i%len(g.EndValues)],
+			TargetClass: "Person",
+			Hierarchy:   i%3 == 0,
+		}
+	}
+	want := make([][]oodb.OID, len(probes))
+	for i, pb := range probes {
+		if want[i], err = seq.Query(pb.Value, pb.TargetClass, pb.Hierarchy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := bat.QueryBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("batch results diverge from sequential")
+	}
+	if ws, wb := seq.WorkloadSnapshot(), bat.WorkloadSnapshot(); !reflect.DeepEqual(ws, wb) {
+		t.Fatalf("workload snapshots diverge: %+v vs %+v", ws, wb)
+	}
+}
+
+// TestQueryBatchDuringReconfigure races batches against configuration
+// swaps (run under -race in CI): every batch must answer from a coherent
+// snapshot — results always equal the static baseline, whichever
+// configuration serves them, because every tested configuration indexes
+// the whole path.
+func TestQueryBatchDuringReconfigure(t *testing.T) {
+	g, err := gen.Generate(model.Figure7Stats(), 0.004, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([]exec.Probe, 48)
+	for i := range probes {
+		probes[i] = exec.Probe{Value: g.EndValues[i%len(g.EndValues)], TargetClass: "Person"}
+	}
+	want, err := e.QueryBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			next := cfgWhole
+			if i%2 == 1 {
+				next = cfgTail
+			}
+			if _, err := e.ApplyConfiguration(next); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 60; round++ {
+		got, err := e.QueryBatch(probes)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d: batch results changed under reconfiguration", round)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestEnginePointQueryZeroAllocs asserts the whole engine serving path —
+// snapshot, record, index probes, result append — allocates nothing per
+// steady-state point query.
+func TestEnginePointQueryZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector perturbs allocation counts")
+	}
+	g := figure7DB(t)
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []oodb.OID
+	for _, v := range g.EndValues {
+		if buf, err = e.QueryInto(buf[:0], v, "Person", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		v := g.EndValues[i%len(g.EndValues)]
+		i++
+		buf, err = e.QueryInto(buf[:0], v, "Person", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("engine point query allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -14,7 +14,6 @@ package exec
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/oodb"
@@ -94,8 +93,7 @@ func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bo
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return oodb.SortUnique(out), nil
 }
 
 // NaiveQueryRange evaluates A_n IN [lo, hi) by forward navigation.
@@ -171,21 +169,24 @@ func (c *Configured) Delete(oid oodb.OID) error {
 	return c.set.DeleteFrom(c.Store, oid)
 }
 
+// QueryInto is Query appending the result to dst — the allocation-free
+// serving kernel (see IndexSet.QueryInto).
+func (c *Configured) QueryInto(dst []oodb.OID, value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	c.set.RLock()
+	defer c.set.RUnlock()
+	return c.set.QueryInto(dst, value, targetClass, hierarchy)
+}
+
+// QueryBatch fans a batch of point probes across a bounded worker pool;
+// results are in probe order and bit-identical to sequential evaluation.
+func (c *Configured) QueryBatch(probes []Probe) ([][]oodb.OID, error) {
+	c.set.RLock()
+	defer c.set.RUnlock()
+	return c.set.QueryBatch(probes)
+}
+
 // IndexStats sums the page-access counters over all subpath indexes.
 func (c *Configured) IndexStats() storage.Stats { return c.set.Stats() }
 
 // ResetStats zeroes all index counters.
 func (c *Configured) ResetStats() { c.set.ResetStats() }
-
-func dedup(oids []oodb.OID) []oodb.OID {
-	if len(oids) == 0 {
-		return nil
-	}
-	out := oids[:1]
-	for _, o := range oids[1:] {
-		if o != out[len(out)-1] {
-			out = append(out, o)
-		}
-	}
-	return out
-}

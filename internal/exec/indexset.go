@@ -2,8 +2,9 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/index"
@@ -197,52 +198,237 @@ func (s *IndexSet) LevelOf(class string) (int, error) {
 	return 0, fmt.Errorf("exec: class %q not in scope of %s", class, s.path)
 }
 
+// queryScratch bundles the per-worker buffers of one query evaluation:
+// the index kernels' transient buffers plus two ping-pong buffers for the
+// cross-subpath OID chain. Scratches are pooled, so a steady-state point
+// query performs no heap allocation.
+type queryScratch struct {
+	ix   *index.Scratch
+	a, b []oodb.OID
+}
+
+var scratchPool = sync.Pool{New: func() any { return &queryScratch{ix: index.NewScratch()} }}
+
+// fanoutThreshold is the intermediate OID-set size beyond which the
+// multi-key probe fan-out inside a single query goes parallel. A var so
+// tests can force the parallel path on small databases.
+var fanoutThreshold = 128
+
 // Query evaluates A_n = value for targetClass through the configuration:
 // the last subpath is probed with the value; each earlier subpath is
 // probed with the OIDs produced by its successor (Proposition 4.1 made
 // operational). The caller must hold RLock.
 func (s *IndexSet) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	level, err := s.LevelOf(targetClass)
-	if err != nil {
+	return s.queryProbe(Probe{Value: value, TargetClass: targetClass, Hierarchy: hierarchy}, true)
+}
+
+// queryProbe is Query with the in-query fan-out parallelism explicit;
+// batch workers disable it (their parallelism is at probe granularity,
+// and nesting the two would oversubscribe the cores).
+func (s *IndexSet) queryProbe(pb Probe, parallelFan bool) ([]oodb.OID, error) {
+	out, err := s.queryInto(nil, pb.Value, pb.TargetClass, pb.Hierarchy, parallelFan)
+	if err != nil || len(out) == 0 {
 		return nil, err
 	}
+	return out, nil
+}
+
+// QueryInto is Query appending the result to dst — the allocation-free
+// serving kernel. The appended region of dst is sorted and deduplicated;
+// contents before len(dst) are untouched (and returned unchanged on
+// error). The caller must hold RLock.
+func (s *IndexSet) QueryInto(dst []oodb.OID, value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	return s.queryInto(dst, value, targetClass, hierarchy, true)
+}
+
+func (s *IndexSet) queryInto(dst []oodb.OID, value oodb.Value, targetClass string, hierarchy bool, parallelFan bool) ([]oodb.OID, error) {
+	level, err := s.LevelOf(targetClass)
+	if err != nil {
+		return dst, err
+	}
+	// Record only after the class resolved: probes against classes outside
+	// the path's scope must not skew drift detection.
 	s.rec.Record(targetClass, stats.OpQuery)
 	gi := s.levelOwner[level-1]
-	keys := []oodb.Value{value}
+	base := len(dst)
+	qs := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(qs)
+	curBuf, nextBuf := qs.a, qs.b
+	defer func() { qs.a, qs.b = curBuf, nextBuf }()
+	var cur []oodb.OID
 	for i := len(s.indexes) - 1; i >= gi; i-- {
 		ix := s.indexes[i]
-		a, _ := ix.Bounds()
-		var oids []oodb.OID
-		tc, hier := s.path.Class(a), true
-		if i == gi {
-			tc, hier = targetClass, hierarchy
+		tc, hier := targetClass, hierarchy
+		if i != gi {
+			a, _ := ix.Bounds()
+			tc, hier = s.path.Class(a), true
 		}
+		out := nextBuf[:0]
+		if i == gi {
+			out = dst
+		}
+		if i == len(s.indexes)-1 {
+			out, err = ix.LookupInto(value, tc, hier, out, qs.ix)
+		} else {
+			out, err = s.fanLookup(ix, cur, tc, hier, out, qs, parallelFan)
+		}
+		if err != nil {
+			return dst[:base], err
+		}
+		if i == gi {
+			dst = out
+			region := oodb.SortUnique(dst[base:])
+			return dst[:base+len(region)], nil
+		}
+		cur = oodb.SortUnique(out)
+		if len(cur) == 0 {
+			return dst, nil
+		}
+		curBuf, nextBuf = cur, curBuf
+	}
+	return dst, nil
+}
+
+// fanLookup probes ix once per OID key, appending all results to out.
+// With parallel set and more than fanoutThreshold keys the probes fan out
+// across GOMAXPROCS workers, each drawing a pooled scratch whose hop
+// buffer doubles as its result shard (the scratches return to the pool
+// only after the merge, so shards are never clobbered); the caller sorts
+// and deduplicates, so the result set is identical to the sequential
+// order.
+func (s *IndexSet) fanLookup(ix index.PathIndex, keys []oodb.OID, tc string, hier bool, out []oodb.OID, qs *queryScratch, parallel bool) ([]oodb.OID, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if !parallel || len(keys) < fanoutThreshold || workers < 2 {
+		var err error
 		for _, k := range keys {
-			got, err := ix.Lookup(k, tc, hier)
+			out, err = ix.LookupInto(oodb.RefV(k), tc, hier, out, qs.ix)
+			if err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	if max := (len(keys) + 31) / 32; workers > max {
+		workers = max // keep at least ~32 keys per worker
+	}
+	type shard struct {
+		ws   *queryScratch
+		oids []oodb.OID
+		err  error
+	}
+	shards := make([]shard, workers)
+	defer func() {
+		for i := range shards {
+			if shards[i].ws != nil {
+				scratchPool.Put(shards[i].ws)
+			}
+		}
+	}()
+	chunk := (len(keys) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if lo >= hi {
+			break
+		}
+		shards[w].ws = scratchPool.Get().(*queryScratch)
+		wg.Add(1)
+		go func(sh *shard, lo, hi int) {
+			defer wg.Done()
+			res := sh.ws.a[:0]
+			var err error
+			for _, k := range keys[lo:hi] {
+				res, err = ix.LookupInto(oodb.RefV(k), tc, hier, res, sh.ws.ix)
+				if err != nil {
+					break
+				}
+			}
+			sh.ws.a = res[:0] // keep the grown buffer with its scratch
+			sh.oids, sh.err = res, err
+		}(&shards[w], lo, hi)
+	}
+	wg.Wait()
+	for i := range shards {
+		if shards[i].err != nil {
+			return out, shards[i].err
+		}
+		out = append(out, shards[i].oids...)
+	}
+	return out, nil
+}
+
+// Probe is one point query of a batch: A_n = Value with respect to
+// TargetClass (its subclasses included when Hierarchy is set).
+type Probe struct {
+	Value       oodb.Value
+	TargetClass string
+	Hierarchy   bool
+}
+
+// QueryBatch evaluates a batch of point probes, fanning them across a
+// bounded worker pool (one worker per CPU, each drawing per-worker scratch
+// from the pool). On success, results are in probe order and bit-identical
+// to issuing the probes sequentially, and the workload recorder sees the
+// same counts. On error the first error in probe order is returned and —
+// unlike the sequential loop, which stops at the failing probe — which of
+// the remaining probes were evaluated (and recorded) is unspecified:
+// workers stop claiming new probes once a failure is observed, but probes
+// already in flight complete. The caller must hold RLock for the duration
+// of the batch.
+func (s *IndexSet) QueryBatch(probes []Probe) ([][]oodb.OID, error) {
+	out := make([][]oodb.OID, len(probes))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(probes) {
+		workers = len(probes)
+	}
+	if workers <= 1 {
+		for i, pb := range probes {
+			r, err := s.queryProbe(pb, false)
 			if err != nil {
 				return nil, err
 			}
-			oids = append(oids, got...)
+			out[i] = r
 		}
-		sort.Slice(oids, func(x, y int) bool { return oids[x] < oids[y] })
-		oids = dedup(oids)
-		if i == gi {
-			return oids, nil
-		}
-		keys = keys[:0]
-		for _, o := range oids {
-			keys = append(keys, oodb.RefV(o))
-		}
-		if len(keys) == 0 {
-			return nil, nil
+		return out, nil
+	}
+	errs := make([]error, len(probes))
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(probes) {
+					return
+				}
+				out[i], errs[i] = s.queryProbe(probes[i], false)
+				if errs[i] != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return nil, nil
+	return out, nil
 }
 
 // QueryRange evaluates A_n IN [lo, hi) for targetClass: the last subpath
 // is range-scanned; each earlier subpath is probed with equality on the
-// OIDs produced by its successor. The caller must hold RLock.
+// OIDs produced by its successor (fanning out in parallel when the
+// intermediate set is large). The caller must hold RLock.
 func (s *IndexSet) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
 	level, err := s.LevelOf(targetClass)
 	if err != nil {
@@ -257,20 +443,18 @@ func (s *IndexSet) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy b
 		a, _ := s.indexes[last].Bounds()
 		tc, hier = s.path.Class(a), true
 	}
-	oids, err := s.indexes[last].LookupRange(lo, hi, tc, hier)
+	cur, err := s.indexes[last].LookupRange(lo, hi, tc, hier)
 	if err != nil {
 		return nil, err
 	}
 	if last == gi {
-		return oids, nil
+		return cur, nil
 	}
 	// Equality-chain through the earlier subpaths.
-	keys := make([]oodb.Value, 0, len(oids))
-	for _, o := range oids {
-		keys = append(keys, oodb.RefV(o))
-	}
+	qs := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(qs)
 	for i := last - 1; i >= gi; i-- {
-		if len(keys) == 0 {
+		if len(cur) == 0 {
 			return nil, nil
 		}
 		ix := s.indexes[i]
@@ -279,22 +463,13 @@ func (s *IndexSet) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy b
 		if i == gi {
 			tc, hier = targetClass, hierarchy
 		}
-		var next []oodb.OID
-		for _, k := range keys {
-			got, err := ix.Lookup(k, tc, hier)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, got...)
+		next, err := s.fanLookup(ix, cur, tc, hier, nil, qs, true)
+		if err != nil {
+			return nil, err
 		}
-		sort.Slice(next, func(x, y int) bool { return next[x] < next[y] })
-		next = dedup(next)
+		cur = oodb.SortUnique(next)
 		if i == gi {
-			return next, nil
-		}
-		keys = keys[:0]
-		for _, o := range next {
-			keys = append(keys, oodb.RefV(o))
+			return cur, nil
 		}
 	}
 	return nil, nil

@@ -50,6 +50,18 @@ func (ai *AttrIndex) Lookup(v oodb.Value) ([]oodb.OID, error) {
 	return decodeOIDSet(raw)
 }
 
+// lookupAppend is the allocation-free Lookup kernel: it reads the record
+// under an already-encoded key through sc's value buffer and appends the
+// recorded OIDs to dst.
+func (ai *AttrIndex) lookupAppend(enc []byte, dst []oodb.OID, sc *Scratch) ([]oodb.OID, error) {
+	raw, ok := ai.tree.GetInto(enc, sc.val[:0])
+	sc.val = raw
+	if !ok {
+		return dst, nil
+	}
+	return appendOIDSet(dst, raw)
+}
+
 // LookupOID is Lookup for an OID-valued key.
 func (ai *AttrIndex) LookupOID(oid oodb.OID) ([]oodb.OID, error) {
 	return ai.Lookup(oodb.RefV(oid))

@@ -19,7 +19,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cost"
 	"repro/internal/oodb"
@@ -28,6 +28,9 @@ import (
 )
 
 // PathIndex is the common interface of the working index organizations.
+// Lookup, LookupInto and LookupRange are pure reads — they never mutate
+// the structure — so any number of them may run concurrently under the
+// owner's read lock.
 type PathIndex interface {
 	// Org identifies the organization.
 	Org() cost.Organization
@@ -37,6 +40,12 @@ type PathIndex interface {
 	// within the subpath whose nested A_B value equals key. With hierarchy
 	// set, subclasses of targetClass are included.
 	Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error)
+	// LookupInto is the allocation-free Lookup kernel: it appends the
+	// matching OIDs to dst — unordered and possibly with duplicates; the
+	// caller sorts and deduplicates once per probe batch — threading its
+	// transient buffers through sc. The returned slice is the extended
+	// dst; neither dst nor sc is retained.
+	LookupInto(key oodb.Value, targetClass string, hierarchy bool, dst []oodb.OID, sc *Scratch) ([]oodb.OID, error)
 	// LookupRange is Lookup for a half-open range [lo, hi) of ending
 	// values (Section 3's range-predicate extension).
 	LookupRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error)
@@ -57,15 +66,23 @@ type PathIndex interface {
 }
 
 // Subpath captures the [A..B] slice of a path together with class-level
-// resolution used by every organization.
+// resolution used by every organization. The scope map, the per-level
+// class lists and the subclass closure of every class in scope are
+// resolved once at construction, so the lookup kernels never recompute
+// them (schema.Hierarchy allocates on every call).
 type Subpath struct {
 	Path *schema.Path
 	A, B int
 	// levelOf maps every class in the subpath's scope to its global level.
 	levelOf map[string]int
+	// levels[l-A] lists the hierarchy class names at global level l.
+	levels [][]string
+	// hierOf maps every class in scope to its inheritance hierarchy
+	// (itself first) — the pre-resolved form of schema.Hierarchy.
+	hierOf map[string][]string
 }
 
-// NewSubpath validates bounds and precomputes the scope map.
+// NewSubpath validates bounds and precomputes the scope tables.
 func NewSubpath(p *schema.Path, a, b int) (*Subpath, error) {
 	if p == nil {
 		return nil, fmt.Errorf("index: nil path")
@@ -73,13 +90,38 @@ func NewSubpath(p *schema.Path, a, b int) (*Subpath, error) {
 	if a < 1 || b > p.Len() || a > b {
 		return nil, fmt.Errorf("index: invalid subpath [%d,%d] of %s", a, b, p)
 	}
-	sp := &Subpath{Path: p, A: a, B: b, levelOf: make(map[string]int)}
+	sp := &Subpath{
+		Path:    p,
+		A:       a,
+		B:       b,
+		levelOf: make(map[string]int),
+		hierOf:  make(map[string][]string),
+	}
 	for l := a; l <= b; l++ {
-		for _, cn := range p.HierarchyAt(l) {
+		level := p.HierarchyAt(l)
+		sp.levels = append(sp.levels, level)
+		for _, cn := range level {
 			sp.levelOf[cn] = l
+			if _, ok := sp.hierOf[cn]; !ok {
+				sp.hierOf[cn] = p.Schema().Hierarchy(cn)
+			}
 		}
 	}
 	return sp, nil
+}
+
+// HierarchyOf returns the pre-resolved inheritance hierarchy (the class
+// itself first) of a class in the subpath's scope; nil outside the scope.
+// Callers must not modify the returned slice.
+func (sp *Subpath) HierarchyOf(class string) []string { return sp.hierOf[class] }
+
+// targetMatch reports whether a class of the subpath's scope satisfies a
+// query target, without allocating.
+func (sp *Subpath) targetMatch(class, target string, hierarchy bool) bool {
+	if class == target {
+		return true
+	}
+	return hierarchy && sp.Path.Schema().IsSubclassOf(class, target)
 }
 
 // LevelOf returns the global level of a class within the subpath's scope.
@@ -94,28 +136,33 @@ func (sp *Subpath) Attr(l int) string { return sp.Path.Attr(l) }
 // EndsPath reports whether the subpath contains the path's ending attribute.
 func (sp *Subpath) EndsPath() bool { return sp.B == sp.Path.Len() }
 
-// EncodeValue encodes an attribute value as a B+-tree key. The kind tag
-// keeps value spaces disjoint; integers and OIDs are big-endian so byte
-// order matches numeric order.
-func EncodeValue(v oodb.Value) []byte {
+// AppendValue appends the B+-tree key encoding of an attribute value to
+// dst — the allocation-free form of EncodeValue. The kind tag keeps value
+// spaces disjoint; integers and OIDs are big-endian so byte order matches
+// numeric order.
+func AppendValue(dst []byte, v oodb.Value) []byte {
 	switch v.Kind {
 	case oodb.IntVal:
-		b := make([]byte, 9)
-		b[0] = 'i'
+		var b [8]byte
 		// Flipping the sign bit makes the big-endian byte order coincide
 		// with numeric order across negative and positive values, which
 		// range scans rely on.
-		binary.BigEndian.PutUint64(b[1:], uint64(v.Int)^(1<<63))
-		return b
+		binary.BigEndian.PutUint64(b[:], uint64(v.Int)^(1<<63))
+		return append(append(dst, 'i'), b[:]...)
 	case oodb.StrVal:
-		return append([]byte{'s'}, v.Str...)
+		return append(append(dst, 's'), v.Str...)
 	default:
-		b := make([]byte, 9)
-		b[0] = 'r'
-		binary.BigEndian.PutUint64(b[1:], uint64(v.Ref))
-		return b
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.Ref))
+		return append(append(dst, 'r'), b[:]...)
 	}
 }
+
+// EncodeValue encodes an attribute value as a fresh B+-tree key.
+func EncodeValue(v oodb.Value) []byte { return AppendValue(nil, v) }
+
+// AppendOID appends the key encoding of an OID to dst.
+func AppendOID(dst []byte, oid oodb.OID) []byte { return AppendValue(dst, oodb.RefV(oid)) }
 
 // EncodeOID encodes an OID key.
 func EncodeOID(oid oodb.OID) []byte { return EncodeValue(oodb.RefV(oid)) }
@@ -124,7 +171,7 @@ func EncodeOID(oid oodb.OID) []byte { return EncodeValue(oodb.RefV(oid)) }
 // 64-bit values.
 func encodeOIDSet(oids []oodb.OID) []byte {
 	sorted := append([]oodb.OID(nil), oids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	out := make([]byte, 4+8*len(sorted))
 	binary.BigEndian.PutUint32(out, uint32(len(sorted)))
 	for i, o := range sorted {
@@ -133,17 +180,26 @@ func encodeOIDSet(oids []oodb.OID) []byte {
 	return out
 }
 
-func decodeOIDSet(b []byte) ([]oodb.OID, error) {
+// appendOIDSet decodes a serialized set, appending its OIDs to dst — the
+// allocation-free form of decodeOIDSet.
+func appendOIDSet(dst []oodb.OID, b []byte) ([]oodb.OID, error) {
 	if len(b) < 4 {
-		return nil, fmt.Errorf("index: truncated OID set")
+		return dst, fmt.Errorf("index: truncated OID set")
 	}
 	n := int(binary.BigEndian.Uint32(b))
 	if len(b) < 4+8*n {
-		return nil, fmt.Errorf("index: OID set of %d entries in %d bytes", n, len(b))
+		return dst, fmt.Errorf("index: OID set of %d entries in %d bytes", n, len(b))
 	}
-	out := make([]oodb.OID, n)
 	for i := 0; i < n; i++ {
-		out[i] = oodb.OID(binary.BigEndian.Uint64(b[4+8*i:]))
+		dst = append(dst, oodb.OID(binary.BigEndian.Uint64(b[4+8*i:])))
+	}
+	return dst, nil
+}
+
+func decodeOIDSet(b []byte) ([]oodb.OID, error) {
+	out, err := appendOIDSet(nil, b)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -192,23 +248,26 @@ func (sp *Subpath) valuesAt(obj *oodb.Object) []oodb.Value {
 	return obj.Values(sp.Attr(l))
 }
 
-// classesAt returns the hierarchy class names at global level l.
-func (sp *Subpath) classesAt(l int) []string { return sp.Path.HierarchyAt(l) }
-
-// uniqueSorted deduplicates and sorts OIDs for deterministic results.
-func uniqueSorted(oids []oodb.OID) []oodb.OID {
-	if len(oids) == 0 {
-		return nil
-	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	out := oids[:1]
-	for _, o := range oids[1:] {
-		if o != out[len(out)-1] {
-			out = append(out, o)
-		}
-	}
-	return out
-}
+// classesAt returns the hierarchy class names at global level l, from the
+// pre-resolved per-level table.
+func (sp *Subpath) classesAt(l int) []string { return sp.levels[l-sp.A] }
 
 // keysEqual compares encoded keys.
 func keysEqual(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// Scratch holds the reusable buffers a lookup kernel threads through the
+// stack: an encoded-key buffer, a record-value buffer, a section-header
+// buffer and two OID ping-pong buffers for intra-subpath probe chains.
+// A Scratch is owned by one goroutine at a time; the executor pools them
+// per worker, so a steady-state point query performs no heap allocation.
+// The zero value is ready to use (buffers grow on first use and are then
+// reused).
+type Scratch struct {
+	key  []byte     // encoded probe key
+	val  []byte     // record value read from the tree
+	head []byte     // NIX class-directory header
+	a, b []oodb.OID // ping-pong hop buffers for chained probes
+}
+
+// NewScratch returns an empty scratch; buffers are sized by first use.
+func NewScratch() *Scratch { return &Scratch{} }

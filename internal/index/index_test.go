@@ -110,7 +110,7 @@ func (f *fixture) naiveMatch(t testing.TB, brand, targetClass string, hierarchy 
 			}
 		}
 	}
-	return uniqueSorted(out)
+	return oodb.SortUnique(out)
 }
 
 func (f *fixture) reaches(obj *oodb.Object, cls, brand string) bool {
@@ -382,7 +382,7 @@ func TestSubpathIndexWithOIDKeys(t *testing.T) {
 				}
 			}
 		}
-		want = uniqueSorted(want)
+		want = oodb.SortUnique(want)
 		got, err := ix.Lookup(oodb.RefV(comp), "Person", false)
 		if err != nil {
 			t.Fatal(err)
@@ -623,11 +623,11 @@ func TestNIXFigure5(t *testing.T) {
 		t.Errorf("Renault companies = %v", got)
 	}
 	got, _ = nx.Lookup(oodb.StrV("Renault"), "Vehicle", true)
-	if !reflect.DeepEqual(got, uniqueSorted([]oodb.OID{vehI, vehJ})) {
+	if !reflect.DeepEqual(got, oodb.SortUnique([]oodb.OID{vehI, vehJ})) {
 		t.Errorf("Renault vehicles = %v", got)
 	}
 	got, _ = nx.Lookup(oodb.StrV("Renault"), "Person", false)
-	if !reflect.DeepEqual(got, uniqueSorted([]oodb.OID{perO, perP})) {
+	if !reflect.DeepEqual(got, oodb.SortUnique([]oodb.OID{perO, perP})) {
 		t.Errorf("Renault persons = %v", got)
 	}
 	got, _ = nx.Lookup(oodb.StrV("Fiat"), "Person", false)

@@ -73,49 +73,73 @@ func (mix *MultiInheritedIndex) LevelIndex(l int) *AttrIndex {
 // returns the whole hierarchy's OIDs, and the class of an OID is known to
 // the caller; here we filter using the owner registry.
 func (mix *MultiInheritedIndex) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	l, ok := mix.sp.LevelOf(targetClass)
-	if !ok {
-		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	out, err := mix.LookupInto(key, targetClass, hierarchy, nil, NewScratch())
+	if err != nil {
+		return nil, err
 	}
-	keys := []oodb.Value{key}
-	for i := mix.sp.B; i >= l; i-- {
-		var oids []oodb.OID
-		ai := mix.byLevel[i-mix.sp.A]
-		for _, k := range keys {
-			got, err := ai.Lookup(k)
-			if err != nil {
-				return nil, err
-			}
-			oids = append(oids, got...)
-		}
-		oids = uniqueSorted(oids)
-		if i == l {
-			if hierarchy && targetClass == mix.sp.Path.Class(l) {
-				return oids, nil // whole hierarchy requested: done
-			}
-			return mix.filterByClass(oids, targetClass, hierarchy), nil
-		}
-		keys = keys[:0]
-		for _, o := range oids {
-			keys = append(keys, oodb.RefV(o))
-		}
-		if len(keys) == 0 {
-			return nil, nil
-		}
-	}
-	return nil, nil
+	return oodb.SortUnique(out), nil
 }
 
-func (mix *MultiInheritedIndex) filterByClass(oids []oodb.OID, targetClass string, hierarchy bool) []oodb.OID {
-	targets := map[string]bool{targetClass: true}
-	if hierarchy {
-		for _, cn := range mix.sp.Path.Schema().Hierarchy(targetClass) {
-			targets[cn] = true
-		}
+// LookupInto is the allocation-free Lookup kernel: hierarchy-index probes
+// chain through sc's ping-pong buffers and the target-class filter runs
+// off the owner registry without building a class set.
+func (mix *MultiInheritedIndex) LookupInto(key oodb.Value, targetClass string, hierarchy bool, dst []oodb.OID, sc *Scratch) ([]oodb.OID, error) {
+	l, ok := mix.sp.LevelOf(targetClass)
+	if !ok {
+		return dst, fmt.Errorf("index: class %s not in subpath scope", targetClass)
 	}
+	wholeHierarchy := hierarchy && targetClass == mix.sp.Path.Class(l)
+	curBuf, nextBuf := sc.a, sc.b
+	defer func() { sc.a, sc.b = curBuf, nextBuf }()
+	var cur []oodb.OID
+	var err error
+	for i := mix.sp.B; i >= l; i-- {
+		out := nextBuf[:0]
+		if i == l && wholeHierarchy {
+			out = dst // whole hierarchy requested: no filter pass needed
+		}
+		ai := mix.byLevel[i-mix.sp.A]
+		if i == mix.sp.B {
+			sc.key = AppendValue(sc.key[:0], key)
+			out, err = ai.lookupAppend(sc.key, out, sc)
+			if err != nil {
+				return dst, err
+			}
+		} else {
+			for _, k := range cur {
+				sc.key = AppendOID(sc.key[:0], k)
+				out, err = ai.lookupAppend(sc.key, out, sc)
+				if err != nil {
+					return dst, err
+				}
+			}
+		}
+		if i == l {
+			if wholeHierarchy {
+				return out, nil
+			}
+			for _, o := range out {
+				if cls, ok := mix.ownerClass[o]; ok && mix.sp.targetMatch(cls, targetClass, hierarchy) {
+					dst = append(dst, o)
+				}
+			}
+			return dst, nil
+		}
+		cur = oodb.SortUnique(out)
+		if len(cur) == 0 {
+			return dst, nil
+		}
+		curBuf, nextBuf = cur, curBuf
+	}
+	return dst, nil
+}
+
+// filterByClass restricts hierarchy-wide results to the requested
+// class(es) via the owner registry, returning a fresh slice.
+func (mix *MultiInheritedIndex) filterByClass(oids []oodb.OID, targetClass string, hierarchy bool) []oodb.OID {
 	out := oids[:0]
 	for _, o := range oids {
-		if cls, ok := mix.ownerClass[o]; ok && targets[cls] {
+		if cls, ok := mix.ownerClass[o]; ok && mix.sp.targetMatch(cls, targetClass, hierarchy) {
 			out = append(out, o)
 		}
 	}

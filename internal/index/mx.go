@@ -69,45 +69,69 @@ func (mx *MultiIndex) ClassIndex(l int, class string) *AttrIndex {
 // Lookup chains index probes from the ending attribute back to the target
 // class's level.
 func (mx *MultiIndex) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	out, err := mx.LookupInto(key, targetClass, hierarchy, nil, NewScratch())
+	if err != nil {
+		return nil, err
+	}
+	return oodb.SortUnique(out), nil
+}
+
+// LookupInto is the allocation-free Lookup kernel: probes chain from the
+// ending attribute back to the target class's level through sc's ping-pong
+// buffers, and the matching OIDs are appended (unordered) to dst.
+func (mx *MultiIndex) LookupInto(key oodb.Value, targetClass string, hierarchy bool, dst []oodb.OID, sc *Scratch) ([]oodb.OID, error) {
 	l, ok := mx.sp.LevelOf(targetClass)
 	if !ok {
-		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+		return dst, fmt.Errorf("index: class %s not in subpath scope", targetClass)
 	}
-	targets := map[string]bool{targetClass: true}
-	if hierarchy {
-		for _, cn := range mx.sp.Path.Schema().Hierarchy(targetClass) {
-			targets[cn] = true
-		}
-	}
-	keys := []oodb.Value{key}
+	curBuf, nextBuf := sc.a, sc.b
+	defer func() { sc.a, sc.b = curBuf, nextBuf }()
+	var cur []oodb.OID
+	var err error
 	for i := mx.sp.B; i >= l; i-- {
-		var oids []oodb.OID
-		for _, cn := range mx.sp.classesAt(i) {
-			if i == l && !targets[cn] {
-				continue
-			}
-			ai := mx.byLevel[i-mx.sp.A][cn]
-			for _, k := range keys {
-				got, err := ai.Lookup(k)
-				if err != nil {
-					return nil, err
-				}
-				oids = append(oids, got...)
-			}
-		}
-		oids = uniqueSorted(oids)
+		out := nextBuf[:0]
 		if i == l {
-			return oids, nil
+			out = dst
 		}
-		keys = keys[:0]
-		for _, o := range oids {
-			keys = append(keys, oodb.RefV(o))
+		classes := mx.sp.classesAt(i)
+		level := mx.byLevel[i-mx.sp.A]
+		if i == mx.sp.B {
+			// Encode the probe value once for every class index.
+			sc.key = AppendValue(sc.key[:0], key)
+			for _, cn := range classes {
+				if i == l && !mx.sp.targetMatch(cn, targetClass, hierarchy) {
+					continue
+				}
+				out, err = level[cn].lookupAppend(sc.key, out, sc)
+				if err != nil {
+					return dst, err
+				}
+			}
+		} else {
+			// Keys outer, classes inner: each chained OID is encoded once.
+			for _, k := range cur {
+				sc.key = AppendOID(sc.key[:0], k)
+				for _, cn := range classes {
+					if i == l && !mx.sp.targetMatch(cn, targetClass, hierarchy) {
+						continue
+					}
+					out, err = level[cn].lookupAppend(sc.key, out, sc)
+					if err != nil {
+						return dst, err
+					}
+				}
+			}
 		}
-		if len(keys) == 0 {
-			return nil, nil
+		if i == l {
+			return out, nil
 		}
+		cur = oodb.SortUnique(out)
+		if len(cur) == 0 {
+			return dst, nil
+		}
+		curBuf, nextBuf = cur, curBuf
 	}
-	return nil, nil
+	return dst, nil
 }
 
 // OnInsert adds the object to its class's index.

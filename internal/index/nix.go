@@ -294,22 +294,34 @@ func (nx *NestedInheritedIndex) putAux(oid oodb.OID, t *auxTuple) {
 // the class directory, touching only the covering pages of a multi-page
 // record.
 func (nx *NestedInheritedIndex) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	if _, ok := nx.sp.LevelOf(targetClass); !ok {
-		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	out, err := nx.LookupInto(key, targetClass, hierarchy, nil, NewScratch())
+	if err != nil {
+		return nil, err
 	}
-	ek := EncodeValue(key)
-	head, ok := nx.primary.GetSection(ek, 0, nx.headerLen())
+	return oodb.SortUnique(out), nil
+}
+
+// LookupInto is the allocation-free Lookup kernel: the class-directory
+// header and the target sections are read into sc's buffers, and the
+// section OIDs are appended to dst. The hierarchy closure comes from the
+// subpath's pre-resolved table.
+func (nx *NestedInheritedIndex) LookupInto(key oodb.Value, targetClass string, hierarchy bool, dst []oodb.OID, sc *Scratch) ([]oodb.OID, error) {
+	if _, ok := nx.sp.LevelOf(targetClass); !ok {
+		return dst, fmt.Errorf("index: class %s not in subpath scope", targetClass)
+	}
+	sc.key = AppendValue(sc.key[:0], key)
+	head, ok := nx.primary.GetSectionInto(sc.key, 0, nx.headerLen(), sc.head[:0])
+	sc.head = head
 	if !ok {
-		return nil, nil
+		return dst, nil
 	}
 	if len(head) < nx.headerLen() {
-		return nil, fmt.Errorf("index: short NIX header")
+		return dst, fmt.Errorf("index: short NIX header")
 	}
-	classes := []string{targetClass}
-	if hierarchy {
-		classes = nx.sp.Path.Schema().Hierarchy(targetClass)
+	classes := nx.sp.HierarchyOf(targetClass)
+	if !hierarchy {
+		classes = classes[:1] // the pre-resolved hierarchy lists the class itself first
 	}
-	var out []oodb.OID
 	for _, cn := range classes {
 		pos, ok := nx.classPos[cn]
 		if !ok {
@@ -320,15 +332,16 @@ func (nx *NestedInheritedIndex) Lookup(key oodb.Value, targetClass string, hiera
 		if cnt == 0 {
 			continue
 		}
-		sec, ok := nx.primary.GetSection(ek, off, cnt*nixEntryLen)
+		sec, ok := nx.primary.GetSectionInto(sc.key, off, cnt*nixEntryLen, sc.val[:0])
+		sc.val = sec
 		if !ok || len(sec) < cnt*nixEntryLen {
-			return nil, fmt.Errorf("index: NIX section read failed for %s", cn)
+			return dst, fmt.Errorf("index: NIX section read failed for %s", cn)
 		}
 		for j := 0; j < cnt; j++ {
-			out = append(out, oodb.OID(binary.BigEndian.Uint64(sec[j*nixEntryLen:])))
+			dst = append(dst, oodb.OID(binary.BigEndian.Uint64(sec[j*nixEntryLen:])))
 		}
 	}
-	return uniqueSorted(out), nil
+	return dst, nil
 }
 
 // ---- maintenance ---------------------------------------------------------

@@ -56,6 +56,17 @@ func (nx *NestedIndexNX) ResetStats() { nx.pager.ResetStats() }
 // Tree exposes the underlying B+-tree.
 func (nx *NestedIndexNX) Tree() *btree.Tree { return nx.tree }
 
+// LookupInto adapts Lookup to the kernel interface. NX consults the store
+// to filter hierarchy-wide records and allocates on the way; like PX it is
+// an extended organization exempt from the zero-allocation guarantee.
+func (nx *NestedIndexNX) LookupInto(key oodb.Value, targetClass string, hierarchy bool, dst []oodb.OID, _ *Scratch) ([]oodb.OID, error) {
+	out, err := nx.Lookup(key, targetClass, hierarchy)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
+}
+
 // Lookup answers queries with respect to the starting class (or its
 // hierarchy) only; the structure holds no inner-class information.
 func (nx *NestedIndexNX) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
@@ -83,14 +94,14 @@ func (nx *NestedIndexNX) LookupRange(lo, hi oodb.Value, targetClass string, hier
 		return nil, err
 	}
 	var out []oodb.OID
-	nx.tree.AscendRange(elo, ehi, func(k, v []byte) bool {
+	nx.tree.ScanInto(elo, ehi, func(k, v []byte) bool {
 		got, derr := decodeOIDSet(v)
 		if derr == nil {
 			out = append(out, got...)
 		}
 		return true
 	})
-	return nx.filter(uniqueSorted(out), targetClass, hierarchy), nil
+	return nx.filter(oodb.SortUnique(out), targetClass, hierarchy), nil
 }
 
 func (nx *NestedIndexNX) checkTarget(targetClass string) error {

@@ -143,6 +143,18 @@ func (px *PathIndexPX) decodeRecord(b []byte) (*pxRecord, error) {
 
 // ---- lookup -----------------------------------------------------------
 
+// LookupInto adapts Lookup to the kernel interface. PX records decode
+// into per-level suffix slices, so this path allocates; PX is an extended
+// organization, not part of the paper's serving-path column set, and is
+// exempt from the zero-allocation guarantee.
+func (px *PathIndexPX) LookupInto(key oodb.Value, targetClass string, hierarchy bool, dst []oodb.OID, _ *Scratch) ([]oodb.OID, error) {
+	out, err := px.Lookup(key, targetClass, hierarchy)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
+}
+
 // Lookup projects the suffix heads at the target class's level.
 func (px *PathIndexPX) Lookup(key oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
 	l, ok := px.sp.LevelOf(targetClass)
@@ -172,7 +184,7 @@ func (px *PathIndexPX) LookupRange(lo, hi oodb.Value, targetClass string, hierar
 	}
 	var out []oodb.OID
 	var decErr error
-	px.tree.AscendRange(elo, ehi, func(k, v []byte) bool {
+	px.tree.ScanInto(elo, ehi, func(k, v []byte) bool {
 		rec, err := px.decodeRecord(v)
 		if err != nil {
 			decErr = err
@@ -184,24 +196,18 @@ func (px *PathIndexPX) LookupRange(lo, hi oodb.Value, targetClass string, hierar
 	if decErr != nil {
 		return nil, decErr
 	}
-	return uniqueSorted(out), nil
+	return oodb.SortUnique(out), nil
 }
 
 func (px *PathIndexPX) project(rec *pxRecord, l int, targetClass string, hierarchy bool) []oodb.OID {
-	targets := map[string]bool{targetClass: true}
-	if hierarchy {
-		for _, cn := range px.sp.Path.Schema().Hierarchy(targetClass) {
-			targets[cn] = true
-		}
-	}
 	var out []oodb.OID
 	for _, s := range rec.suffixes[l-px.sp.A] {
 		head := s[0]
-		if cls, ok := px.ownerClass[head]; ok && targets[cls] {
+		if cls, ok := px.ownerClass[head]; ok && px.sp.targetMatch(cls, targetClass, hierarchy) {
 			out = append(out, head)
 		}
 	}
-	return uniqueSorted(out)
+	return oodb.SortUnique(out)
 }
 
 // ---- maintenance -------------------------------------------------------

@@ -36,10 +36,10 @@ func (mx *MultiIndex) LookupRange(lo, hi oodb.Value, targetClass string, hierarc
 	var oids []oodb.OID
 	for _, cn := range mx.sp.classesAt(mx.sp.B) {
 		ai := mx.byLevel[mx.sp.B-mx.sp.A][cn]
-		if l == mx.sp.B && !mx.targetMatch(cn, targetClass, hierarchy) {
+		if l == mx.sp.B && !mx.sp.targetMatch(cn, targetClass, hierarchy) {
 			continue
 		}
-		ai.tree.AscendRange(elo, ehi, func(k, v []byte) bool {
+		ai.tree.ScanInto(elo, ehi, func(k, v []byte) bool {
 			got, derr := decodeOIDSet(v)
 			if derr == nil {
 				oids = append(oids, got...)
@@ -47,20 +47,12 @@ func (mx *MultiIndex) LookupRange(lo, hi oodb.Value, targetClass string, hierarc
 			return true
 		})
 	}
-	oids = uniqueSorted(oids)
+	oids = oodb.SortUnique(oids)
 	if l == mx.sp.B {
 		return oids, nil
 	}
 	// Chain backward with equality probes on the collected OIDs.
 	return mx.chainFrom(oids, l, targetClass, hierarchy)
-}
-
-// targetMatch reports whether a class satisfies the query target.
-func (mx *MultiIndex) targetMatch(class, target string, hierarchy bool) bool {
-	if class == target {
-		return true
-	}
-	return hierarchy && mx.sp.Path.Schema().IsSubclassOf(class, target)
 }
 
 // chainFrom probes levels B-1..l with the given OID keys.
@@ -87,7 +79,7 @@ func (mx *MultiIndex) chainFrom(keys []oodb.OID, l int, targetClass string, hier
 				next = append(next, got...)
 			}
 		}
-		cur = uniqueSorted(next)
+		cur = oodb.SortUnique(next)
 		if len(cur) == 0 {
 			return nil, nil
 		}
@@ -106,14 +98,14 @@ func (mix *MultiInheritedIndex) LookupRange(lo, hi oodb.Value, targetClass strin
 		return nil, fmt.Errorf("index: class %s not in subpath scope", targetClass)
 	}
 	var oids []oodb.OID
-	mix.byLevel[mix.sp.B-mix.sp.A].tree.AscendRange(elo, ehi, func(k, v []byte) bool {
+	mix.byLevel[mix.sp.B-mix.sp.A].tree.ScanInto(elo, ehi, func(k, v []byte) bool {
 		got, derr := decodeOIDSet(v)
 		if derr == nil {
 			oids = append(oids, got...)
 		}
 		return true
 	})
-	oids = uniqueSorted(oids)
+	oids = oodb.SortUnique(oids)
 	for i := mix.sp.B - 1; i >= l; i-- {
 		var next []oodb.OID
 		ai := mix.byLevel[i-mix.sp.A]
@@ -124,7 +116,7 @@ func (mix *MultiInheritedIndex) LookupRange(lo, hi oodb.Value, targetClass strin
 			}
 			next = append(next, got...)
 		}
-		oids = uniqueSorted(next)
+		oids = oodb.SortUnique(next)
 		if len(oids) == 0 {
 			return nil, nil
 		}
@@ -155,7 +147,7 @@ func (nx *NestedInheritedIndex) LookupRange(lo, hi oodb.Value, targetClass strin
 	}
 	var out []oodb.OID
 	var decErr error
-	nx.primary.AscendRange(elo, ehi, func(k, v []byte) bool {
+	nx.primary.ScanInto(elo, ehi, func(k, v []byte) bool {
 		rec, err := nx.decodeRecord(v)
 		if err != nil {
 			decErr = err
@@ -175,5 +167,5 @@ func (nx *NestedInheritedIndex) LookupRange(lo, hi oodb.Value, targetClass strin
 	if decErr != nil {
 		return nil, decErr
 	}
-	return uniqueSorted(out), nil
+	return oodb.SortUnique(out), nil
 }

@@ -18,7 +18,7 @@ func (f *fixture) rangeNaive(t testing.TB, lo, hi, targetClass string, hierarchy
 			out = append(out, f.naiveMatch(t, brand, targetClass, hierarchy)...)
 		}
 	}
-	return uniqueSorted(out)
+	return oodb.SortUnique(out)
 }
 
 func TestLookupRangeMatchesNaive(t *testing.T) {
@@ -101,7 +101,7 @@ func TestLookupRangeOnIntegers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Weights in [-15, 15): -10, 0, 10 → the 3rd, 4th, 5th inserted.
-	want := uniqueSorted([]oodb.OID{oids[2], oids[3], oids[4]})
+	want := oodb.SortUnique([]oodb.OID{oids[2], oids[3], oids[4]})
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("integer range = %v, want %v", got, want)
 	}

@@ -8,6 +8,7 @@ package oodb
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/schema"
@@ -23,6 +24,25 @@ var ErrNotFound = errors.New("object not found")
 
 // OID identifies an object; zero is never valid.
 type OID uint64
+
+// SortUnique sorts oids in place and removes duplicates, returning the
+// deduplicated prefix (nil when empty). It is the one OID set
+// normalization shared by the executor and every index organization:
+// closure-free (no sort.Slice allocation) and allocation-free, so it can
+// sit on the serving hot path.
+func SortUnique(oids []OID) []OID {
+	if len(oids) == 0 {
+		return nil
+	}
+	slices.Sort(oids)
+	out := oids[:1]
+	for _, o := range oids[1:] {
+		if o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
 
 // ValueKind discriminates attribute values.
 type ValueKind int
@@ -127,6 +147,13 @@ type pageSlot struct {
 	oids map[OID]bool
 }
 
+// objEntry couples an object with the page slot storing it, so the hot
+// read path resolves both with a single map lookup.
+type objEntry struct {
+	obj  *Object
+	slot *pageSlot
+}
+
 // Store is the object database.
 //
 // Concurrency: objects are immutable once inserted, and the catalog maps
@@ -137,14 +164,23 @@ type pageSlot struct {
 // flowing. The scan callbacks run outside the lock (on an immutable
 // snapshot of the class's objects), so a callback may itself re-enter the
 // store without risking a recursive read-lock deadlock.
+//
+// The read paths consult pre-resolved tables where possible: the object
+// and its page slot live in one map entry (one lookup under the read lock
+// instead of two), and the inheritance hierarchy of every class is
+// resolved once at construction, so scans and hierarchy listings never
+// recompute the subclass closure under traffic.
 type Store struct {
 	schema *schema.Schema
 	pager  *storage.Pager
+	// hier pre-resolves schema.Hierarchy for every class known at
+	// construction; read-only afterwards, so it is consulted without the
+	// lock. Classes added to the schema later fall back to the schema.
+	hier map[string][]string
 
-	mu      sync.RWMutex // guards next, objects, objPage, classPages
+	mu      sync.RWMutex // guards next, objects, classPages
 	next    OID
-	objects map[OID]*Object
-	objPage map[OID]*pageSlot
+	objects map[OID]objEntry
 	// classPages maps a class to its pages in allocation order; the last
 	// page receives new objects until full.
 	classPages map[string][]*pageSlot
@@ -159,14 +195,32 @@ func NewStore(s *schema.Schema, pageSize int) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	hier := make(map[string][]string)
+	for _, cn := range s.Classes() {
+		hier[cn] = s.Hierarchy(cn)
+	}
 	return &Store{
 		schema:     s,
 		pager:      pager,
+		hier:       hier,
 		next:       1,
-		objects:    make(map[OID]*Object),
-		objPage:    make(map[OID]*pageSlot),
+		objects:    make(map[OID]objEntry),
 		classPages: make(map[string][]*pageSlot),
 	}, nil
+}
+
+// hierarchyOf returns the pre-resolved hierarchy of a class. If any class
+// was added to the schema after the store was created the whole table is
+// stale — a new subclass extends existing roots' hierarchies — so the
+// schema is consulted live; the class count is the staleness check.
+func (st *Store) hierarchyOf(root string) []string {
+	if st.schema.NumClasses() != len(st.hier) {
+		return st.schema.Hierarchy(root)
+	}
+	if h, ok := st.hier[root]; ok {
+		return h
+	}
+	return st.schema.Hierarchy(root)
 }
 
 // Schema returns the store's schema.
@@ -220,8 +274,8 @@ func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
 				if !ok {
 					return 0, fmt.Errorf("oodb: %s.%s references missing object %d (forward references only)", class, name, v.Ref)
 				}
-				if !st.schema.IsSubclassOf(target.Class, decl.Domain) {
-					return 0, fmt.Errorf("oodb: %s.%s references %s object, want %s", class, name, target.Class, decl.Domain)
+				if !st.schema.IsSubclassOf(target.obj.Class, decl.Domain) {
+					return 0, fmt.Errorf("oodb: %s.%s references %s object, want %s", class, name, target.obj.Class, decl.Domain)
 				}
 			} else if v.Kind == RefVal {
 				return 0, fmt.Errorf("oodb: attribute %s.%s is atomic but got a reference", class, name)
@@ -234,8 +288,7 @@ func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
 		obj.Attrs[k] = append([]Value(nil), vs...)
 	}
 	slot := st.placeObject(obj)
-	st.objects[obj.OID] = obj
-	st.objPage[obj.OID] = slot
+	st.objects[obj.OID] = objEntry{obj: obj, slot: slot}
 	return obj.OID, nil
 }
 
@@ -268,23 +321,23 @@ func (st *Store) placeObject(obj *Object) *pageSlot {
 func (st *Store) Get(oid OID) (*Object, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	obj, ok := st.objects[oid]
+	e, ok := st.objects[oid]
 	if !ok {
 		return nil, fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
 	}
-	if _, err := st.pager.Read(st.objPage[oid].page.ID); err != nil {
+	if _, err := st.pager.Read(e.slot.page.ID); err != nil {
 		panic("oodb: lost page: " + err.Error())
 	}
-	return obj, nil
+	return e.obj, nil
 }
 
 // Peek returns an object without counting a page access; for test
 // assertions and internal bookkeeping that would not touch disk.
 func (st *Store) Peek(oid OID) (*Object, bool) {
 	st.mu.RLock()
-	obj, ok := st.objects[oid]
+	e, ok := st.objects[oid]
 	st.mu.RUnlock()
-	return obj, ok
+	return e.obj, ok
 }
 
 // Delete removes an object, counting a page write (and freeing the page if
@@ -294,15 +347,14 @@ func (st *Store) Peek(oid OID) (*Object, bool) {
 func (st *Store) Delete(oid OID) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	obj, ok := st.objects[oid]
+	e, ok := st.objects[oid]
 	if !ok {
 		return fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
 	}
-	slot := st.objPage[oid]
+	obj, slot := e.obj, e.slot
 	delete(slot.oids, oid)
 	slot.used -= obj.size()
 	delete(st.objects, oid)
-	delete(st.objPage, oid)
 	if len(slot.oids) == 0 {
 		pages := st.classPages[obj.Class]
 		for i, s := range pages {
@@ -336,7 +388,7 @@ func (st *Store) ScanClass(class string, fn func(*Object) bool) {
 			panic("oodb: lost page: " + err.Error())
 		}
 		for oid := range slot.oids {
-			objs = append(objs, st.objects[oid])
+			objs = append(objs, st.objects[oid].obj)
 		}
 	}
 	st.mu.RUnlock()
@@ -348,8 +400,9 @@ func (st *Store) ScanClass(class string, fn func(*Object) bool) {
 }
 
 // ScanHierarchy iterates the objects of the class and all its subclasses.
+// The subclass closure comes from the pre-resolved hierarchy table.
 func (st *Store) ScanHierarchy(root string, fn func(*Object) bool) {
-	for _, cn := range st.schema.Hierarchy(root) {
+	for _, cn := range st.hierarchyOf(root) {
 		stop := false
 		st.ScanClass(cn, func(o *Object) bool {
 			if !fn(o) {

@@ -316,3 +316,29 @@ func TestNewStoreErrors(t *testing.T) {
 		t.Error("tiny page accepted")
 	}
 }
+
+// TestScanHierarchySeesLateAddedSubclass guards the pre-resolved
+// hierarchy table's staleness check: a subclass added to the schema after
+// the store was built must still be visited by ScanHierarchy of its root.
+func TestScanHierarchySeesLateAddedSubclass(t *testing.T) {
+	s := schema.PaperSchema()
+	st, err := NewStore(s, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustAddClass(&schema.Class{Name: "Minivan", Super: "Vehicle", Attrs: []schema.Attribute{
+		{Name: "extra", Kind: schema.Atomic, Domain: "string"},
+	}})
+	oid, err := st.Insert("Minivan", map[string][]Value{"extra": {StrV("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []OID
+	st.ScanHierarchy("Vehicle", func(o *Object) bool {
+		seen = append(seen, o.OID)
+		return true
+	})
+	if len(seen) != 1 || seen[0] != oid {
+		t.Fatalf("ScanHierarchy missed the late-added subclass: saw %v, want [%d]", seen, oid)
+	}
+}

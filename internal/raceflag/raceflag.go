@@ -1,0 +1,5 @@
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-regression guards consult it to skip themselves under -race:
+// the detector instruments the runtime and perturbs per-op allocation
+// counts, which would turn the guards into false alarms.
+package raceflag

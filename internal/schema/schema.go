@@ -118,6 +118,11 @@ func (s *Schema) Classes() []string {
 	return out
 }
 
+// NumClasses returns the number of classes. Callers caching derived
+// schema tables (e.g. resolved hierarchies) use it as a cheap staleness
+// check: adding a class always increases the count.
+func (s *Schema) NumClasses() int { return len(s.order) }
+
 // Subclasses returns the direct subclasses of the named class, sorted.
 func (s *Schema) Subclasses(name string) []string {
 	var out []string

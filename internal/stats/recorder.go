@@ -20,16 +20,26 @@ const (
 	numOps
 )
 
+// padCount is one atomic counter padded out to a cache line, so
+// GOMAXPROCS-parallel recorders of different (class, operation) cells
+// never false-share.
+type padCount struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
 // Recorder counts the live workload over one path's scope. Counters are
-// per (level, class, operation) and atomic — recording is lock-free, so
-// it can sit on the executor's query and update paths without serializing
-// them. A class appearing at several levels of the path is attributed to
-// its first occurrence, matching the executor's level resolution.
+// per (level, class, operation), atomic and cache-line padded — recording
+// is lock-free and contention-free across cells, so it can sit on the
+// executor's query and update paths without serializing them. There is
+// deliberately no shared total counter (it would put every operation on
+// one cache line); totals are summed over the cells on read. A class
+// appearing at several levels of the path is attributed to its first
+// occurrence, matching the executor's level resolution.
 type Recorder struct {
 	slot    map[string]int // class -> slot; read-only after construction
 	classes []recClass     // slot -> (level, class)
-	counts  []atomic.Uint64
-	total   atomic.Uint64
+	counts  []padCount
 }
 
 type recClass struct {
@@ -49,7 +59,7 @@ func NewRecorder(p *schema.Path) *Recorder {
 			r.classes = append(r.classes, recClass{level: l, class: cn})
 		}
 	}
-	r.counts = make([]atomic.Uint64, len(r.classes)*int(numOps))
+	r.counts = make([]padCount, len(r.classes)*int(numOps))
 	return r
 }
 
@@ -63,8 +73,7 @@ func (r *Recorder) Record(class string, op Op) bool {
 	if !ok {
 		return false
 	}
-	r.counts[i*int(numOps)+int(op)].Add(1)
-	r.total.Add(1)
+	r.counts[i*int(numOps)+int(op)].v.Add(1)
 	return true
 }
 
@@ -73,16 +82,19 @@ func (r *Recorder) Total() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.total.Load()
+	var t uint64
+	for i := range r.counts {
+		t += r.counts[i].v.Load()
+	}
+	return t
 }
 
 // Reset zeroes all counters. Concurrent Records may land on either side
 // of the reset; the counters are workload statistics, not a ledger.
 func (r *Recorder) Reset() {
 	for i := range r.counts {
-		r.counts[i].Store(0)
+		r.counts[i].v.Store(0)
 	}
-	r.total.Store(0)
 }
 
 // ClassLoad is one class's observed operation counts.
@@ -114,9 +126,9 @@ func (r *Recorder) Snapshot() Workload {
 		c := ClassLoad{
 			Level:   rc.level,
 			Class:   rc.class,
-			Queries: r.counts[i*int(numOps)+int(OpQuery)].Load(),
-			Inserts: r.counts[i*int(numOps)+int(OpInsert)].Load(),
-			Deletes: r.counts[i*int(numOps)+int(OpDelete)].Load(),
+			Queries: r.counts[i*int(numOps)+int(OpQuery)].v.Load(),
+			Inserts: r.counts[i*int(numOps)+int(OpInsert)].v.Load(),
+			Deletes: r.counts[i*int(numOps)+int(OpDelete)].v.Load(),
 		}
 		w.Classes[i] = c
 		w.Total += c.Ops()

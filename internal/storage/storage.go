@@ -51,28 +51,42 @@ type lruNode struct {
 	id         PageID
 }
 
+// numStripes shards the counters so concurrent readers touching different
+// pages do not contend on one cache line. Must be a power of two.
+const numStripes = 8
+
+// counterStripe is one shard of the counters, padded to a cache line so
+// adjacent stripes never false-share.
+type counterStripe struct {
+	reads, writes, allocs, frees, hits atomic.Uint64
+	_                                  [24]byte // pad 5×8 bytes to 64
+}
+
 // Pager allocates, reads and writes pages, counting every access. With a
 // buffer pool of capacity c > 0, reads of resident pages are hits and do
 // not count; c == 0 models the paper's cost convention in which every
 // record access is a page access.
 //
-// Locking is split three ways so that concurrent readers do not serialize
-// on bookkeeping: the page table takes an RWMutex (reads share it), the
-// counters are atomics (no lock at all), and only the LRU recency list —
-// which every buffered access genuinely mutates — takes a mutex, with all
-// list operations O(1) via an intrusive doubly-linked list plus a
-// residency map. The page-table lock is held across the LRU update
-// (lock order: mu, then lruMu) so a concurrent Free cannot interleave
-// between a page's existence check and its touch and leave a freed page
-// resident.
+// Concurrency is organized around the unbuffered read being the serving
+// hot path: the page table is a sync.Map (reads are lock-free), the
+// counters are striped, cache-line-padded atomics indexed by page ID (so
+// GOMAXPROCS-parallel readers touching different pages do not serialize on
+// one counter line), and structural changes (Alloc, Free) take a mutex.
+// Only the LRU recency list — which every buffered access genuinely
+// mutates — takes its own mutex; inside it, residency is re-checked
+// against the page table so a page freed concurrently with a read is never
+// left resident (Free removes the page from the table before touching the
+// list, so the re-check under lruMu is authoritative).
 type Pager struct {
 	pageSize int
 
-	mu    sync.RWMutex // guards pages and next
-	pages map[PageID]*Page
-	next  PageID
+	pages    sync.Map // PageID -> *Page; lock-free on the read path
+	numPages atomic.Int64
 
-	reads, writes, allocs, frees, hits atomic.Uint64
+	structMu sync.Mutex // serializes Alloc/Free and guards next
+	next     PageID
+
+	stripes [numStripes]counterStripe
 
 	// LRU buffer pool; lruMu guards nodes and the list.
 	capacity int
@@ -93,7 +107,6 @@ func NewPager(pageSize, capacity int) (*Pager, error) {
 	}
 	return &Pager{
 		pageSize: pageSize,
-		pages:    make(map[PageID]*Page),
 		next:     1,
 		capacity: capacity,
 		nodes:    make(map[PageID]*lruNode),
@@ -112,35 +125,49 @@ func MustNewPager(pageSize, capacity int) *Pager {
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
 
+// stripe returns the counter shard for a page.
+func (p *Pager) stripe(id PageID) *counterStripe {
+	return &p.stripes[uint64(id)&(numStripes-1)]
+}
+
 // Alloc allocates a new zeroed page.
 func (p *Pager) Alloc(tag string) *Page {
-	p.mu.Lock()
+	p.structMu.Lock()
 	pg := &Page{ID: p.next, Data: make([]byte, p.pageSize), Tag: tag}
 	p.next++
-	p.pages[pg.ID] = pg
-	p.allocs.Add(1)
+	p.pages.Store(pg.ID, pg)
+	p.numPages.Add(1)
+	p.structMu.Unlock()
+	p.stripe(pg.ID).allocs.Add(1)
 	p.touch(pg.ID)
-	p.mu.Unlock()
 	return pg
 }
 
-// Read fetches a page, counting a read unless it is buffer-resident.
+// Read fetches a page, counting a read unless it is buffer-resident. With
+// no buffer pool the call is entirely lock-free: a page-table load plus one
+// striped atomic increment.
 func (p *Pager) Read(id PageID) (*Page, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	pg, ok := p.pages[id]
+	v, ok := p.pages.Load(id)
 	if !ok {
 		return nil, fmt.Errorf("storage: read of unknown page %d", id)
 	}
+	pg := v.(*Page)
+	st := p.stripe(id)
 	if p.capacity == 0 {
-		p.reads.Add(1)
+		st.reads.Add(1)
 		return pg, nil
 	}
 	p.lruMu.Lock()
+	// Re-check existence: Free removes the page from the table before it
+	// takes lruMu, so a page observed here is still live and may be touched.
+	if _, live := p.pages.Load(id); !live {
+		p.lruMu.Unlock()
+		return nil, fmt.Errorf("storage: read of unknown page %d", id)
+	}
 	if _, resident := p.nodes[id]; resident {
-		p.hits.Add(1)
+		st.hits.Add(1)
 	} else {
-		p.reads.Add(1)
+		st.reads.Add(1)
 	}
 	p.touchLocked(id)
 	p.lruMu.Unlock()
@@ -149,24 +176,23 @@ func (p *Pager) Read(id PageID) (*Page, error) {
 
 // Write marks a page written back, counting a write.
 func (p *Pager) Write(pg *Page) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if _, ok := p.pages[pg.ID]; !ok {
+	if _, ok := p.pages.Load(pg.ID); !ok {
 		return fmt.Errorf("storage: write of unknown page %d", pg.ID)
 	}
-	p.writes.Add(1)
+	p.stripe(pg.ID).writes.Add(1)
 	p.touch(pg.ID)
 	return nil
 }
 
 // Free releases a page.
 func (p *Pager) Free(id PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.pages[id]; !ok {
+	p.structMu.Lock()
+	if _, ok := p.pages.Load(id); !ok {
+		p.structMu.Unlock()
 		return fmt.Errorf("storage: free of unknown page %d", id)
 	}
-	delete(p.pages, id)
+	p.pages.Delete(id)
+	p.numPages.Add(-1)
 	if p.capacity > 0 {
 		p.lruMu.Lock()
 		if nd, ok := p.nodes[id]; ok {
@@ -175,7 +201,8 @@ func (p *Pager) Free(id PageID) error {
 		}
 		p.lruMu.Unlock()
 	}
-	p.frees.Add(1)
+	p.structMu.Unlock()
+	p.stripe(id).frees.Add(1)
 	return nil
 }
 
@@ -198,6 +225,13 @@ func (p *Pager) touchLocked(id PageID) {
 			p.unlink(nd)
 			p.pushFront(nd)
 		}
+		return
+	}
+	// Liveness re-check before admitting a page to the pool: Free removes
+	// the page from the table before it takes lruMu, so a page absent here
+	// was freed concurrently (by a caller that raced Write/Alloc's earlier
+	// existence check) and must not be resurrected into a buffer slot.
+	if _, live := p.pages.Load(id); !live {
 		return
 	}
 	nd := &lruNode{id: id}
@@ -238,31 +272,33 @@ func (p *Pager) unlink(nd *lruNode) {
 	nd.prev, nd.next = nil, nil
 }
 
-// Stats returns a snapshot of the counters. Counters are independent
-// atomics; a snapshot taken while other goroutines operate reflects some
-// interleaving of their updates.
+// Stats returns a snapshot of the counters, summed over the stripes.
+// Counters are independent atomics; a snapshot taken while other
+// goroutines operate reflects some interleaving of their updates.
 func (p *Pager) Stats() Stats {
-	return Stats{
-		Reads:  p.reads.Load(),
-		Writes: p.writes.Load(),
-		Allocs: p.allocs.Load(),
-		Frees:  p.frees.Load(),
-		Hits:   p.hits.Load(),
+	var s Stats
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		s.Reads += st.reads.Load()
+		s.Writes += st.writes.Load()
+		s.Allocs += st.allocs.Load()
+		s.Frees += st.frees.Load()
+		s.Hits += st.hits.Load()
 	}
+	return s
 }
 
 // ResetStats zeroes the counters (buffer contents are kept).
 func (p *Pager) ResetStats() {
-	p.reads.Store(0)
-	p.writes.Store(0)
-	p.allocs.Store(0)
-	p.frees.Store(0)
-	p.hits.Store(0)
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.reads.Store(0)
+		st.writes.Store(0)
+		st.allocs.Store(0)
+		st.frees.Store(0)
+		st.hits.Store(0)
+	}
 }
 
 // NumPages returns the number of live pages.
-func (p *Pager) NumPages() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.pages)
-}
+func (p *Pager) NumPages() int { return int(p.numPages.Load()) }
