@@ -110,6 +110,11 @@ type (
 	// the batch fans across a bounded worker pool and returns results in
 	// probe order, bit-identical to issuing the probes sequentially.
 	Probe = exec.Probe
+	// Update is one in-place object update of a batch passed to
+	// Database.UpdateBatch: the named attributes of OID are replaced (an
+	// empty value slice removes the attribute; unnamed attributes keep
+	// their values).
+	Update = exec.Update
 	// Generated is a synthetic database materialized from statistics.
 	Generated = gen.Generated
 )
@@ -136,7 +141,7 @@ func NewPathStats(p *Path, params Params) *PathStats { return model.NewPathStats
 func DefaultParams() Params { return model.DefaultParams() }
 
 // PaperParams returns the 1 KiB-page parameters calibrated to reproduce
-// the paper's Example 5.1 (see EXPERIMENTS.md).
+// the paper's Example 5.1 (see DESIGN.md §6).
 func PaperParams() Params { return model.PaperParams() }
 
 // PaperSchema returns the Figure 1 schema (Person/Vehicle/Bus/Truck/
@@ -206,9 +211,9 @@ func Generate(ps *PathStats, scale float64, seed int64) (*Generated, error) {
 
 // Open builds the working index structures of a configuration over a
 // store's current contents and returns the lifecycle-managed database:
-// Query, Insert and Delete keep the indexes maintained and feed the
-// workload recorder; Advise, Reconfigure and WorkloadSnapshot close the
-// measure–select–reconfigure loop online. With the zero options the
+// Query, Insert, Update and Delete keep the indexes maintained and feed
+// the workload recorder; Advise, Reconfigure and WorkloadSnapshot close
+// the measure–select–reconfigure loop online. With the zero options the
 // engine never reconfigures on its own; see OpenWithOptions.
 func Open(st *Store, p *Path, cfg Configuration, pageSize int) (*Database, error) {
 	return engine.New(st, p, cfg, pageSize, engine.Options{})

@@ -14,6 +14,9 @@
 //	ixbench -run reconfig     # online reconfiguration under drift (E1)
 //	ixbench -run serve        # serving throughput under concurrency (E2);
 //	                          # emits BENCH_serve.json
+//	ixbench -run maintain     # update maintenance cost at mixed
+//	                          # read/write ratios (E3); emits
+//	                          # BENCH_maintain.json
 package main
 
 import (
@@ -26,22 +29,58 @@ import (
 	"repro/internal/experiments"
 )
 
+// modes maps each -run mode to its one-line description, in display order.
+var modes = []struct{ name, desc string }{
+	{"all", "run every experiment below"},
+	{"fig6", "Figure 6 walkthrough of the Section 5 selection (F6)"},
+	{"fig8", "Example 5.1 with the Figure 7 statistics (F7/F8)"},
+	{"complexity", "Section 5 complexity claims: BnB vs exhaustive vs DP (C1)"},
+	{"validate", "analytic cost model vs measured page accesses (V1)"},
+	{"workload", "optimal configuration across query/update mixes (W1)"},
+	{"sweep", "optimal configuration across path lengths (S1)"},
+	{"extended", "PX/NX/NONE extended organization columns (X1)"},
+	{"selectivity", "range-predicate selectivity sweep (R1)"},
+	{"buffer", "buffer-pool hit-rate ablation (B1)"},
+	{"reconfig", "online reconfiguration under workload drift (E1)"},
+	{"serve", "serving throughput under concurrency; emits BENCH_serve.json (E2)"},
+	{"maintain", "update maintenance cost at mixed read/write ratios; emits BENCH_maintain.json (E3)"},
+}
+
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "ixbench regenerates the paper's figures and the repository's measured")
+	fmt.Fprintln(w, "experiments (see DESIGN.md for the experiment index).")
+	fmt.Fprintln(w, "\nUsage:\n\n\tixbench [-run mode] [flags]\n\nModes:")
+	for _, m := range modes {
+		fmt.Fprintf(w, "\t%-12s %s\n", m.name, m.desc)
+	}
+	fmt.Fprintln(w, "\nFlags:")
+	flag.PrintDefaults()
+}
+
 func main() {
-	run := flag.String("run", "all", "experiment to run: all|fig6|fig8|complexity|validate|workload|sweep|extended|selectivity|buffer|reconfig|serve")
+	var names []string
+	for _, m := range modes {
+		names = append(names, m.name)
+	}
+	run := flag.String("run", "all", "experiment to run: "+strings.Join(names, "|"))
 	maxN := flag.Int("maxn", 10, "maximum path length for complexity/sweep experiments")
 	trials := flag.Int("trials", 20, "random matrices per length in the complexity experiment")
 	seed := flag.Int64("seed", 42, "random seed for generated databases and matrices")
 	serveOps := flag.Int("serve-ops", 2000, "operations per worker in the serve experiment")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for the serve experiment's JSON report")
+	maintainOps := flag.Int("maintain-ops", 4000, "operations per cell in the maintain experiment")
+	maintainOut := flag.String("maintain-out", "BENCH_maintain.json", "output file for the maintain experiment's JSON report")
+	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -135,18 +174,37 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 			return err
 		}
 		fmt.Println(rep.Render())
-		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err := writeJSON(serveOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("maintain") {
+		ran = true
+		section("E3 — update maintenance cost at mixed read/write ratios")
+		rep, err := experiments.RunMaintain(seed, []float64{0.9, 0.5, 0.1}, maintainOps)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(serveOut, append(blob, '\n'), 0o644); err != nil {
+		fmt.Println(rep.Render())
+		if err := writeJSON(maintainOut, rep); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", serveOut)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", which)
+		return fmt.Errorf("unknown experiment %q (run `ixbench -h` for the mode list)", which)
 	}
+	return nil
+}
+
+func writeJSON(path string, rep any) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -26,10 +26,30 @@ import (
 	"repro/internal/spec"
 )
 
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "ixselect selects the optimal index configuration for a path from a JSON")
+	fmt.Fprintln(w, "specification of the schema, statistics and workload (Section 5 of the paper).")
+	fmt.Fprintln(w, "\nUsage:\n\n\tixselect [flags] < spec.json")
+	fmt.Fprintln(w, "\nTypical invocations:")
+	fmt.Fprintln(w, "\tixselect -example            print the Figure 7 spec as a template")
+	fmt.Fprintln(w, "\tixselect -spec path.json     select from a spec file")
+	fmt.Fprintln(w, "\tixselect -example | ixselect pipe the template through selection")
+	fmt.Fprintln(w, "\tixselect -json < path.json   machine-readable configuration")
+	fmt.Fprintln(w, "\nThe spec may restrict or extend the organization columns")
+	fmt.Fprintln(w, `("MX","MIX","NIX","NONE","PX","NX") and declare range-predicate workloads`)
+	fmt.Fprintln(w, `via "selectivity". The report shows the cost matrix with each subpath's`)
+	fmt.Fprintln(w, "minimum starred, the branch-and-bound optimum, and the saving over the")
+	fmt.Fprintln(w, "best whole-path single index.")
+	fmt.Fprintln(w, "\nFlags:")
+	flag.PrintDefaults()
+}
+
 func main() {
 	specPath := flag.String("spec", "", "JSON spec file (default: stdin)")
 	example := flag.Bool("example", false, "print the Figure 7 spec as a template and exit")
 	asJSON := flag.Bool("json", false, "emit the result as JSON instead of a report")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *example {

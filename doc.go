@@ -103,7 +103,32 @@
 // for optimal vs whole-path-NIX vs naive serving and writes
 // BENCH_serve.json.
 //
-// See the examples/ directory for end-to-end programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the paper-versus-measured
-// record of every figure and table.
+// # Updates
+//
+// The write path is complete CRUD: Database.Update applies in-place
+// attribute changes and reference re-links, returning the database to a
+// state indistinguishable from a fresh index build (enforced by a
+// differential test that interleaves thousands of random inserts, updates
+// and deletes). Maintenance is incremental per organization — MX/MIX diff
+// the changed values and touch only the records whose membership moves;
+// NIX repairs the affected primary records with a numchild cascade in
+// both directions (cascadeRemove for keys left, cascadeAdd re-keying the
+// ancestor chain for keys gained, through the auxiliary index rather than
+// the database); PX and NX re-derive affected entries by navigation, the
+// trade-off their cost models charge for. An update that does not touch
+// the indexed path attribute costs zero index page accesses.
+// Database.UpdateBatch shards a batch over one worker per CPU (updates to
+// one object keep their order; the batch serializes with configuration
+// swaps as a group), reporting per-update errors. Updates are recorded as
+// their own operation kind, surface in WorkloadSnapshot, and enter drift
+// and re-selection as half an insertion plus half a deletion — so an
+// update-heavy shift in the mix retunes the configuration like any other
+// drift. Experiment E3 (ixbench -run maintain) measures realized
+// maintenance cost — pages/op by operation kind and ops/sec at mixed
+// read/write ratios — and writes BENCH_maintain.json; DESIGN.md §5
+// records the per-organization formulas and the measured shape.
+//
+// See README.md for the repository map, the examples/ directory for
+// end-to-end programs, and DESIGN.md for the system inventory and the
+// paper-versus-measured experiment index.
 package ooindex

@@ -3,8 +3,8 @@
 // working indexes of the current configuration, and the workload loop the
 // paper leaves to the administrator:
 //
-//	record   — every query, insert and delete is counted per class by a
-//	           lock-free recorder on the execution paths;
+//	record   — every query, insert, update and delete is counted per
+//	           class by a lock-free recorder on the execution paths;
 //	drift    — the observed operation mix is compared against the load
 //	           distribution the current configuration was selected for;
 //	re-select — when drift exceeds the threshold, statistics are
@@ -19,9 +19,9 @@
 //	           a half-built configuration.
 //
 // Reads are never blocked by reconfiguration: queries take a snapshot of
-// the active set through an atomic pointer. Writers (Insert, Delete)
-// serialize with the build-and-swap so the new set is loaded from a
-// stable store; after the swap the retired set is drained before any
+// the active set through an atomic pointer. Writers (Insert, Update,
+// Delete) serialize with the build-and-swap so the new set is loaded from
+// a stable store; after the swap the retired set is drained before any
 // maintenance touches the structures the new set adopted.
 package engine
 
@@ -253,6 +253,35 @@ func (e *Engine) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, 
 	e.writeMu.Unlock()
 	e.maybeAutoTune()
 	return oid, err
+}
+
+// Update applies an in-place update — attribute value changes and
+// reference re-links — and maintains the active configuration's owning
+// subpath index incrementally from the before/after pair. Updates feed
+// the workload recorder as their own operation kind, so update-heavy
+// drift triggers re-selection like any other mix shift. A missing OID
+// reports oodb.ErrNotFound.
+func (e *Engine) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
+	e.writeMu.Lock()
+	err := e.active.Load().UpdateIn(e.store, oid, attrs)
+	e.writeMu.Unlock()
+	e.maybeAutoTune()
+	return err
+}
+
+// UpdateBatch applies a batch of in-place updates against one snapshot of
+// the active configuration, sharding them over a worker pool the way
+// QueryBatch fans probes out (see exec.IndexSet.UpdateBatch for the
+// ordering and safety contract). The batch serializes with configuration
+// swaps as a whole — one writeMu hold, not one per update — so it also
+// acts as a group commit. The result has one entry per update, nil on
+// success; a failed update does not stop the rest of the batch.
+func (e *Engine) UpdateBatch(ups []exec.Update) []error {
+	e.writeMu.Lock()
+	errs := e.active.Load().UpdateBatch(e.store, ups)
+	e.writeMu.Unlock()
+	e.maybeAutoTuneN(uint64(len(ups)))
+	return errs
 }
 
 // Delete removes an object and maintains the active configuration,

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/oodb"
+)
+
+// TestEngineUpdateMaintainsAndRecords drives in-place updates through the
+// engine: the index answers must track the re-linked store, and the
+// workload recorder must expose the update traffic (the plumbing Advise
+// depends on — before updates were counted they were invisible to
+// re-selection).
+func TestEngineUpdateMaintainsAndRecords(t *testing.T) {
+	g := figure7DB(t)
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := g.ByClass["Division"][0]
+	target := g.EndValues[1]
+	if err := e.Update(div, map[string][]oodb.Value{"name": {target}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Query(target, "Division", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range got {
+		if o == div {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("re-keyed division %d not found under its new value", div)
+	}
+	// The whole chain above the division re-keys too.
+	wantPersons, err := exec.NaiveQuery(g.Store, g.Path, target, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPersons, err := e.Query(target, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPersons, wantPersons) {
+		t.Fatalf("persons after update = %v, want %v", gotPersons, wantPersons)
+	}
+	w := e.WorkloadSnapshot()
+	var updates uint64
+	for _, c := range w.Classes {
+		updates += c.Updates
+	}
+	if updates != 1 {
+		t.Fatalf("recorded updates = %d, want 1 (snapshot %+v)", updates, w.Classes)
+	}
+	if w.Total != 3 { // one update + two engine queries (naive is unrecorded)
+		t.Fatalf("Total = %d, want 3: the update must count toward the total", w.Total)
+	}
+	// A missing OID surfaces the store's sentinel.
+	if err := e.Update(1<<40, nil); err == nil {
+		t.Fatal("update of missing OID succeeded")
+	}
+}
+
+// TestUpdateDrivenDriftTriggersReselection asserts the loop the write
+// path exists for: a configuration selected for a pure-query assumption
+// sees update-heavy traffic, the drift metric crosses the threshold, and
+// Reconfigure re-selects on statistics that reflect the updates.
+func TestUpdateDrivenDriftTriggersReselection(t *testing.T) {
+	g := figure7DB(t)
+	assumed := model.Figure7Stats()
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{Assumed: assumed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divisions := g.ByClass["Division"]
+	for i := 0; i < 200; i++ {
+		div := divisions[i%len(divisions)]
+		if err := e.Update(div, map[string][]oodb.Value{"name": {g.EndValues[i%len(g.EndValues)]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := e.Drift(); d < 0.25 {
+		t.Fatalf("drift under pure-update traffic = %g, want above the default threshold", d)
+	}
+	rep, err := e.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drift < 0.25 {
+		t.Fatalf("reconfigure report drift = %g", rep.Drift)
+	}
+	// The baseline advanced: the same update mix no longer drifts.
+	for i := 0; i < 200; i++ {
+		div := divisions[i%len(divisions)]
+		if err := e.Update(div, map[string][]oodb.Value{"name": {g.EndValues[i%len(g.EndValues)]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := e.Drift(); d > 0.25 {
+		t.Fatalf("drift after adopting the update-heavy baseline = %g, want below threshold", d)
+	}
+}
+
+// TestUpdateBatchDuringReconfigure races a concurrent update batch
+// against configuration swaps (run under -race): after the dust settles,
+// the surviving configuration must answer exactly like naive navigation
+// over the final store.
+func TestUpdateBatchDuringReconfigure(t *testing.T) {
+	g := figure7DB(t)
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vehicles := append(append(append([]oodb.OID(nil), g.ByClass["Vehicle"]...),
+		g.ByClass["Bus"]...), g.ByClass["Truck"]...)
+	companies := g.ByClass["Company"]
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 6; round++ {
+			var ups []exec.Update
+			for i := 0; i < 64; i++ {
+				ups = append(ups, exec.Update{
+					OID:   vehicles[(round*64+i*7)%len(vehicles)],
+					Attrs: map[string][]oodb.Value{"man": {oodb.RefV(companies[(round+i)%len(companies)])}},
+				})
+			}
+			for i, err := range e.UpdateBatch(ups) {
+				if err != nil {
+					t.Errorf("round %d update %d: %v", round, i, err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			cfg := cfgWhole
+			if i%2 == 1 {
+				cfg = cfgSplit
+			}
+			if _, err := e.ApplyConfiguration(cfg); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	e.Quiesce()
+	for _, v := range g.EndValues[:8] {
+		for _, tc := range []struct {
+			class string
+			hier  bool
+		}{{"Person", false}, {"Vehicle", true}} {
+			want, err := exec.NaiveQuery(g.Store, g.Path, v, tc.class, tc.hier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Query(v, tc.class, tc.hier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("after batched updates + swaps: Query(%v, %s) = %v, want %v", v, tc.class, got, want)
+			}
+		}
+	}
+}

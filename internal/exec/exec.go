@@ -118,8 +118,8 @@ func NaiveQueryRange(st *oodb.Store, p *schema.Path, lo, hi oodb.Value, targetCl
 }
 
 // Configured couples an object store with the index structures of one
-// index configuration and keeps them maintained under inserts and
-// deletes. It is a thin wrapper over a single IndexSet; for a database
+// index configuration and keeps them maintained under inserts, in-place
+// updates and deletes. It is a thin wrapper over a single IndexSet; for a database
 // whose configuration can change underneath live traffic, use the
 // lifecycle engine instead.
 type Configured struct {
@@ -159,6 +159,21 @@ func (c *Configured) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy
 // Insert stores a new object and maintains the owning subpath's index.
 func (c *Configured) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
 	return c.set.InsertInto(c.Store, class, attrs)
+}
+
+// Update applies an in-place update — attribute value changes and
+// reference re-links — and maintains the owning subpath's index
+// incrementally from the before/after pair. A missing OID reports
+// oodb.ErrNotFound.
+func (c *Configured) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
+	return c.set.UpdateIn(c.Store, oid, attrs)
+}
+
+// UpdateBatch applies a batch of in-place updates through the set's
+// sharded worker pool (see IndexSet.UpdateBatch); the result has one
+// entry per update, nil on success.
+func (c *Configured) UpdateBatch(ups []Update) []error {
+	return c.set.UpdateBatch(c.Store, ups)
 }
 
 // Delete removes an object, maintains the owning subpath's index, and —

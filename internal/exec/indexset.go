@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/index"
 	"repro/internal/oodb"
 	"repro/internal/schema"
@@ -494,6 +495,108 @@ func (s *IndexSet) InsertInto(st *oodb.Store, class string, attrs map[string][]o
 	return oid, nil
 }
 
+// UpdateIn applies an in-place update to an object of st and maintains
+// the owning subpath's index incrementally from the (old, new) pair the
+// store returns. Updates never need boundary maintenance: the object's
+// OID — the key value preceding subpaths chain through — does not change.
+// A missing OID reports oodb.ErrNotFound. The caller is responsible for
+// serializing store mutations against configuration swaps.
+func (s *IndexSet) UpdateIn(st *oodb.Store, oid oodb.OID, attrs map[string][]oodb.Value) error {
+	obj, ok := st.Peek(oid)
+	if !ok {
+		return fmt.Errorf("exec: no object %d: %w", oid, oodb.ErrNotFound)
+	}
+	if _, err := s.LevelOf(obj.Class); err != nil {
+		return err
+	}
+	old, upd, err := st.Update(oid, attrs)
+	if err != nil {
+		return err
+	}
+	return s.OnUpdate(old, upd)
+}
+
+// Update is one in-place object update of a batch: the named attributes
+// of OID are replaced (an empty value slice removes the attribute;
+// attributes not named keep their values).
+type Update struct {
+	OID   oodb.OID
+	Attrs map[string][]oodb.Value
+}
+
+// deltaSafe reports whether every organization of the set maintains
+// updates purely from index state and the (old, new) object pair. Only
+// MX, MIX and NIX qualify; anything else — PX today, NX if it ever
+// becomes buildable in a set — re-derives affected entries by navigating
+// the object store, so its repair must not race other updates mutating
+// the store and forces sequential batch application.
+func (s *IndexSet) deltaSafe() bool {
+	for _, asg := range s.cfg.Assignments {
+		switch asg.Org {
+		case cost.MX, cost.MIX, cost.NIX:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// UpdateBatch applies a batch of in-place updates, mirroring QueryBatch's
+// worker-pool shape on the write path. Updates are sharded over one
+// worker per CPU by OID — updates to the same object keep their batch
+// order — while updates to distinct objects may interleave: each one's
+// store mutation and index maintenance are individually serialized by
+// the store and set locks, and the per-object diffs commute, so the
+// final index state is identical to sequential application (the
+// differential maintenance test enforces this).
+//
+// Unlike QueryBatch, whose readers genuinely run concurrently under a
+// shared read lock, every update serializes on the store's and the set's
+// exclusive locks — sharding buys pipelining of the two lock domains
+// (one worker validates and mutates the store while another maintains
+// indexes), not per-core scaling. The batch's primary value is the
+// contract: one call, per-update errors, group serialization against
+// configuration swaps at the engine level. Configurations containing an
+// organization outside MX/MIX/NIX (PX; see deltaSafe) apply sequentially
+// because their repair navigates the store, which must not move
+// underneath it.
+//
+// The result has one entry per update, nil on success; a failed update
+// never prevents the rest of the batch from applying.
+func (s *IndexSet) UpdateBatch(st *oodb.Store, ups []Update) []error {
+	errs := make([]error, len(ups))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ups) {
+		workers = len(ups)
+	}
+	if workers <= 1 || !s.deltaSafe() {
+		for i, u := range ups {
+			errs[i] = s.UpdateIn(st, u.OID, u.Attrs)
+		}
+		return errs
+	}
+	shards := make([][]int, workers)
+	for i, u := range ups {
+		w := int(u.OID % oodb.OID(workers))
+		shards[w] = append(shards[w], i)
+	}
+	var wg sync.WaitGroup
+	for _, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard []int) {
+			defer wg.Done()
+			for _, i := range shard {
+				errs[i] = s.UpdateIn(st, ups[i].OID, ups[i].Attrs)
+			}
+		}(shard)
+	}
+	wg.Wait()
+	return errs
+}
+
 // DeleteFrom removes an object from st, maintaining the owning subpath's
 // index and the Definition 4.2 boundary. A missing OID reports
 // oodb.ErrNotFound.
@@ -521,6 +624,24 @@ func (s *IndexSet) OnInsert(obj *oodb.Object) error {
 		return err
 	}
 	s.rec.Record(obj.Class, stats.OpInsert)
+	return nil
+}
+
+// OnUpdate maintains the owning subpath's index for an in-place update,
+// given the object's states before and after. It takes the write lock
+// itself. Only the index owning the object's level is touched: the
+// object's OID — what every other subpath keys it by — is unchanged.
+func (s *IndexSet) OnUpdate(old, upd *oodb.Object) error {
+	level, err := s.LevelOf(old.Class)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.indexes[s.levelOwner[level-1]].OnUpdate(old, upd); err != nil {
+		return err
+	}
+	s.rec.Record(old.Class, stats.OpUpdate)
 	return nil
 }
 

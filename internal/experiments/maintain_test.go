@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMaintainSmoke(t *testing.T) {
+	rep, err := RunMaintain(42, []float64{0.5}, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 { // optimal, whole-path-NIX, naive × one read fraction
+		t.Fatalf("cells = %d, want 3", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Queries == 0 || c.Updates == 0 {
+			t.Errorf("%s: mix not mixed: %d queries / %d updates", c.Config, c.Queries, c.Updates)
+		}
+		if c.OpsPerSec <= 0 || c.PagesPerOp <= 0 {
+			t.Errorf("%s: degenerate measurement: %+v", c.Config, c)
+		}
+		if c.Config != "naive" {
+			if c.UpdatePagesPerOp <= 0 {
+				t.Errorf("%s: indexed backend reported free updates", c.Config)
+			}
+			if c.UpdatesRecorded == 0 {
+				t.Errorf("%s: engine recorder saw no updates", c.Config)
+			}
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "whole-path-NIX") || !strings.Contains(out, "update pg/op") {
+		t.Errorf("render missing expected columns:\n%s", out)
+	}
+}

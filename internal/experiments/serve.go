@@ -188,7 +188,7 @@ func buildNaiveBackend(g *gen.Generated) (*serveBackend, error) {
 		ins: func(v oodb.Value) (oodb.OID, error) {
 			return g.Store.Insert("Division", map[string][]oodb.Value{"name": {v}})
 		},
-		del: func(oid oodb.OID) error { return g.Store.Delete(oid) },
+		del:   func(oid oodb.OID) error { return g.Store.Delete(oid) },
 		pages: func() uint64 { return g.Store.Pager().Stats().Accesses() },
 	}, nil
 }

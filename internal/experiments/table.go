@@ -3,8 +3,8 @@
 // walkthrough, the Figure 7/8 cost matrix and optimal configuration of
 // Example 5.1, the Section 5 complexity claims, the analytic-vs-measured
 // validation of the cost model, and workload/shape sweeps. Each experiment
-// returns a typed report with a text rendering; EXPERIMENTS.md records
-// paper-vs-measured values.
+// returns a typed report with a text rendering; DESIGN.md §6 indexes the
+// paper-vs-measured record.
 package experiments
 
 import (

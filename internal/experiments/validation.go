@@ -219,6 +219,6 @@ func (r ValidationReport) Render() string {
 	var b strings.Builder
 	b.WriteString(t.Render())
 	b.WriteString("\nThe model predicts expected page accesses; agreement within a small constant factor\n")
-	b.WriteString("validates the ranking the selection algorithm relies on (see EXPERIMENTS.md).\n")
+	b.WriteString("validates the ranking the selection algorithm relies on (see DESIGN.md §6).\n")
 	return b.String()
 }

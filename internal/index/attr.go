@@ -95,6 +95,29 @@ func (ai *AttrIndex) Remove(obj *oodb.Object) error {
 	return nil
 }
 
+// UpdateObject re-associates an updated object's OID incrementally: it is
+// dissociated from the values only the old state held and associated with
+// the values only the new state holds. Records whose membership does not
+// change are never touched, so an update costs page accesses proportional
+// to the number of values that actually moved.
+func (ai *AttrIndex) UpdateObject(old, upd *oodb.Object) error {
+	if !ai.classes[old.Class] {
+		return fmt.Errorf("index: %s index does not cover class %s", ai.attr, old.Class)
+	}
+	removed, added := diffKeys(old.Values(ai.attr), upd.Values(ai.attr))
+	for _, k := range removed {
+		ai.tree.Update(k, func(b []byte) []byte {
+			return removeOID(b, old.OID)
+		})
+	}
+	for _, k := range added {
+		ai.tree.Update(k, func(b []byte) []byte {
+			return addOID(b, old.OID)
+		})
+	}
+	return nil
+}
+
 // RemoveKey drops the whole record keyed by an OID value — the boundary
 // maintenance of Definition 4.2 (the referenced object was deleted, so the
 // key value disappears from the domain).

@@ -52,6 +52,12 @@ type PathIndex interface {
 	// OnInsert maintains the index for a newly inserted object of a class
 	// in the subpath's scope.
 	OnInsert(obj *oodb.Object) error
+	// OnUpdate maintains the index for an in-place update: old and upd are
+	// the same object (same OID, same class) before and after the change.
+	// Maintenance is incremental — only the entries the changed subpath
+	// attribute actually moves are touched; when the attribute is
+	// unchanged the call is a no-op.
+	OnUpdate(old, upd *oodb.Object) error
 	// OnDelete maintains the index for a deleted object.
 	OnDelete(obj *oodb.Object) error
 	// BoundaryDelete removes the index entries keyed by an OID of the
@@ -235,6 +241,51 @@ func removeOID(b []byte, oid oodb.OID) []byte {
 		return nil
 	}
 	return encodeOIDSet(out)
+}
+
+// refSet collects reference OIDs into a set.
+func refSet(refs []oodb.OID) map[oodb.OID]bool {
+	s := make(map[oodb.OID]bool, len(refs))
+	for _, r := range refs {
+		s[r] = true
+	}
+	return s
+}
+
+// diffKeys splits an attribute's old and new values into the encoded
+// tree keys only the old object held (removed) and only the new object
+// holds (added), each in first-occurrence order. The comparison is
+// set-semantic — duplicate values collapse, matching the OID-set records
+// the attribute indexes keep — so an update only touches the records
+// whose membership genuinely changes, and every value is encoded exactly
+// once.
+func diffKeys(old, upd []oodb.Value) (removed, added [][]byte) {
+	oldKeys := make(map[string]bool, len(old))
+	oldOrder := make([][]byte, 0, len(old))
+	for _, v := range old {
+		k := EncodeValue(v)
+		if !oldKeys[string(k)] {
+			oldKeys[string(k)] = true
+			oldOrder = append(oldOrder, k)
+		}
+	}
+	updKeys := make(map[string]bool, len(upd))
+	for _, v := range upd {
+		k := EncodeValue(v)
+		if updKeys[string(k)] {
+			continue
+		}
+		updKeys[string(k)] = true
+		if !oldKeys[string(k)] {
+			added = append(added, k)
+		}
+	}
+	for _, k := range oldOrder {
+		if !updKeys[string(k)] {
+			removed = append(removed, k)
+		}
+	}
+	return removed, added
 }
 
 // valuesAt returns the object's values for the subpath attribute of its

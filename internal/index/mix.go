@@ -159,6 +159,17 @@ func (mix *MultiInheritedIndex) OnInsert(obj *oodb.Object) error {
 	return mix.byLevel[l-mix.sp.A].Add(obj)
 }
 
+// OnUpdate re-keys the object's entries in its level's hierarchy index
+// (vanished values lose the OID, gained values get it); the owner
+// registry is untouched because class and OID never change in place.
+func (mix *MultiInheritedIndex) OnUpdate(old, upd *oodb.Object) error {
+	l, ok := mix.sp.LevelOf(old.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", old.Class)
+	}
+	return mix.byLevel[l-mix.sp.A].UpdateObject(old, upd)
+}
+
 // OnDelete removes the object from its level's index and drops the record
 // keyed by its OID from the previous level's index.
 func (mix *MultiInheritedIndex) OnDelete(obj *oodb.Object) error {

@@ -143,6 +143,18 @@ func (mx *MultiIndex) OnInsert(obj *oodb.Object) error {
 	return mx.byLevel[l-mx.sp.A][obj.Class].Add(obj)
 }
 
+// OnUpdate re-keys the object's entries in its class's index: the OIDs it
+// produced for vanished values are removed and entries for gained values
+// added. Other levels are untouched — the object's own OID, the key other
+// levels chain through, does not change on an in-place update.
+func (mx *MultiIndex) OnUpdate(old, upd *oodb.Object) error {
+	l, ok := mx.sp.LevelOf(old.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", old.Class)
+	}
+	return mx.byLevel[l-mx.sp.A][old.Class].UpdateObject(old, upd)
+}
+
 // OnDelete removes the object from its class's index and, per Section 3.1,
 // drops the records keyed by its OID from every index of the previous
 // level within the subpath.

@@ -35,6 +35,13 @@ type NestedInheritedIndex struct {
 	aux      *btree.Tree
 	classPos map[string]int // class -> section position
 	classes  []string       // section order: levels A..B, hierarchy order
+	// ownerClass records the class of every indexed object so the update
+	// cascade can place re-keyed ancestor entries in their class sections
+	// without navigating the database (the 3-tuples identify parents by
+	// OID only). As in MIX, a real system would read the class off the
+	// OID's page; the registry avoids charging object-store accesses to
+	// the index pager.
+	ownerClass map[oodb.OID]string
 }
 
 // NewNestedInheritedIndex allocates the NIX for subpath [a..b].
@@ -48,11 +55,12 @@ func NewNestedInheritedIndex(p *schema.Path, a, b, pageSize int) (*NestedInherit
 		return nil, err
 	}
 	nx := &NestedInheritedIndex{
-		sp:       sp,
-		pager:    pager,
-		primary:  btree.New(pager, "nix/primary"),
-		aux:      btree.New(pager, "nix/aux"),
-		classPos: make(map[string]int),
+		sp:         sp,
+		pager:      pager,
+		primary:    btree.New(pager, "nix/primary"),
+		aux:        btree.New(pager, "nix/aux"),
+		classPos:   make(map[string]int),
+		ownerClass: make(map[oodb.OID]string),
 	}
 	for l := a; l <= b; l++ {
 		for _, cn := range sp.classesAt(l) {
@@ -401,6 +409,7 @@ func (nx *NestedInheritedIndex) OnInsert(obj *oodb.Object) error {
 	if !ok {
 		return fmt.Errorf("index: class %s not in subpath scope", obj.Class)
 	}
+	nx.ownerClass[obj.OID] = obj.Class
 	pos := nx.classPos[obj.Class]
 
 	// Step 2: visit children tuples, record parenthood, gather pointers.
@@ -505,6 +514,207 @@ func (nx *NestedInheritedIndex) OnDelete(obj *oodb.Object) error {
 			return err
 		}
 		nx.storeRecord(k, rec)
+	}
+	delete(nx.ownerClass, obj.OID)
+	return nil
+}
+
+// OnUpdate implements incremental in-place update maintenance. The
+// subpath attribute of the object's level is diffed:
+//
+//   - children dropped by a re-link lose this object from their 3-tuples'
+//     parent lists, gained children acquire it;
+//   - primary keys the object no longer reaches get the full deletion
+//     cascade (its entry removed, ancestors' numchild decremented,
+//     zero-count ancestors dropped recursively — cascadeRemove);
+//   - keys newly reached get the mirror-image insertion cascade: the
+//     object's entry added and the chain of ancestors above it re-keyed
+//     into the record through the auxiliary index (cascadeAdd), never by
+//     navigating the database;
+//   - keys reached before and after only have the entry's numchild
+//     reseeded.
+//
+// A delete-then-reinsert of the whole chain would touch every record the
+// object reaches; the diff touches only the records whose membership
+// actually changes.
+func (nx *NestedInheritedIndex) OnUpdate(old, upd *oodb.Object) error {
+	l, ok := nx.sp.LevelOf(old.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", old.Class)
+	}
+	attr := nx.sp.Attr(l)
+	if oodb.ValuesEqual(old.Values(attr), upd.Values(attr)) {
+		return nil
+	}
+	// Re-parent the children's 3-tuples (their pointer sets are untouched:
+	// pointers track the keys a child reaches, not who references it).
+	if l < nx.sp.B {
+		oldRefs := refSet(old.Refs(attr))
+		updRefs := refSet(upd.Refs(attr))
+		for c := range oldRefs {
+			if updRefs[c] {
+				continue
+			}
+			t, ok, err := nx.getAux(c)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.removeParent(old.OID)
+				nx.putAux(c, t)
+			}
+		}
+		for c := range updRefs {
+			if oldRefs[c] {
+				continue
+			}
+			t, ok, err := nx.getAux(c)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				t = &auxTuple{}
+			}
+			t.addParent(old.OID)
+			nx.putAux(c, t)
+		}
+	}
+	// The keys reached before come from the object's own 3-tuple (level-A
+	// objects have none; their keys are re-derived through their old
+	// children), the keys reached after from the new state.
+	var oldKeys [][]byte
+	var oldKC keyCounts // level-A only: numchild per key before the update
+	var parents []oodb.OID
+	tup := &auxTuple{}
+	if l > nx.sp.A {
+		t, ok, err := nx.getAux(old.OID)
+		if err != nil {
+			return err
+		}
+		if ok {
+			tup = t
+			oldKeys = t.pointers
+			parents = t.parents
+		}
+	} else {
+		kc, err := nx.childKeys(old, l)
+		if err != nil {
+			return err
+		}
+		oldKC = kc
+		for k := range kc {
+			oldKeys = append(oldKeys, []byte(k))
+		}
+	}
+	newKC, err := nx.childKeys(upd, l)
+	if err != nil {
+		return err
+	}
+	for _, k := range oldKeys {
+		if _, keep := newKC[string(k)]; keep {
+			continue
+		}
+		rec, err := nx.loadRecord(k)
+		if err != nil {
+			return err
+		}
+		if err := nx.cascadeRemove(rec, k, l, old.OID, parents); err != nil {
+			return err
+		}
+		nx.storeRecord(k, rec)
+	}
+	oldSet := make(map[string]bool, len(oldKeys))
+	for _, k := range oldKeys {
+		oldSet[string(k)] = true
+	}
+	pos := nx.classPos[old.Class]
+	for k, cnt := range newKC {
+		// Keys reached both before and after only need their numchild
+		// reseeded — and not even that when the count is unchanged: at
+		// level A the old counts were just derived (skip without touching
+		// the tree), above it the read confirms before any write.
+		if oldSet[k] && oldKC != nil && oldKC[k] == cnt {
+			continue
+		}
+		rec, err := nx.loadRecord([]byte(k))
+		if err != nil {
+			return err
+		}
+		if oldSet[k] {
+			if i := rec.find(pos, old.OID); i >= 0 {
+				if rec.sections[pos][i].count == uint32(cnt) {
+					continue
+				}
+				rec.sections[pos][i].count = uint32(cnt)
+			} else {
+				rec.sections[pos] = append(rec.sections[pos], nixEntry{oid: old.OID, count: uint32(cnt)})
+			}
+		} else if err := nx.cascadeAdd(rec, []byte(k), l, old.OID, uint32(cnt), parents); err != nil {
+			return err
+		}
+		nx.storeRecord([]byte(k), rec)
+	}
+	// Refresh the object's own pointer set to the keys now reached.
+	if l > nx.sp.A {
+		tup.pointers = tup.pointers[:0]
+		for k := range newKC {
+			tup.addPointer([]byte(k))
+		}
+		nx.putAux(old.OID, tup)
+	}
+	return nil
+}
+
+// cascadeAdd inserts the entry (oid, count) at level l into rec (keyed by
+// k) and repairs the chain above it — the mirror image of cascadeRemove:
+// an aggregation parent already present in the record gains one child
+// (numchild incremented); a parent not yet in the record enters it with
+// numchild 1, k is added to its pointer set, and the cascade recurses
+// with the parent's own parents from the auxiliary index. An update deep
+// in the path thereby re-keys every ancestor without touching the object
+// store.
+func (nx *NestedInheritedIndex) cascadeAdd(rec *nixRecord, k []byte, l int, oid oodb.OID, count uint32, parents []oodb.OID) error {
+	cls, ok := nx.ownerClass[oid]
+	if !ok {
+		return fmt.Errorf("index: NIX has no class recorded for object %d", oid)
+	}
+	pos := nx.classPos[cls]
+	if i := rec.find(pos, oid); i >= 0 {
+		rec.sections[pos][i].count += count
+	} else {
+		rec.sections[pos] = append(rec.sections[pos], nixEntry{oid: oid, count: count})
+	}
+	if l == nx.sp.A {
+		return nil // no parents within the subpath
+	}
+	for _, p := range parents {
+		found := false
+		for _, cn := range nx.sp.classesAt(l - 1) {
+			cp := nx.classPos[cn]
+			if j := rec.find(cp, p); j >= 0 {
+				rec.sections[cp][j].count++
+				found = true
+				break
+			}
+		}
+		if found {
+			continue // the parent already reached k through another child
+		}
+		var grandparents []oodb.OID
+		if l-1 > nx.sp.A {
+			t, ok, err := nx.getAux(p)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.addPointer(k)
+				nx.putAux(p, t)
+				grandparents = t.parents
+			}
+		}
+		if err := nx.cascadeAdd(rec, k, l-1, p, 1, grandparents); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -136,9 +136,20 @@ func (nx *NestedIndexNX) filter(oids []oodb.OID, targetClass string, hierarchy b
 // reachedValues navigates forward from a starting object, optionally
 // treating excl as deleted.
 func (nx *NestedIndexNX) reachedValues(obj *oodb.Object, excl oodb.OID) map[string]bool {
+	return nx.reachedValuesAs(obj, excl, nil)
+}
+
+// reachedValuesAs is reachedValues with a substitute: when sub is
+// non-nil, navigation uses sub in place of the stored object carrying
+// sub's OID. After the store has already applied an update this
+// reconstructs pre-update reachability by substituting the old state.
+func (nx *NestedIndexNX) reachedValuesAs(obj *oodb.Object, excl oodb.OID, sub *oodb.Object) map[string]bool {
 	keys := make(map[string]bool)
 	var walk func(o *oodb.Object, i int)
 	walk = func(o *oodb.Object, i int) {
+		if sub != nil && o.OID == sub.OID {
+			o = sub
+		}
 		if i == nx.sp.B {
 			for _, v := range o.Values(nx.sp.Attr(i)) {
 				keys[string(EncodeValue(v))] = true
@@ -176,6 +187,48 @@ func (nx *NestedIndexNX) OnInsert(obj *oodb.Object) error {
 			return addOID(old, obj.OID)
 		})
 	}
+	return nil
+}
+
+// OnUpdate maintains the index for an in-place update. A starting-class
+// update re-navigates from the old and new states and moves the object's
+// OID between the records whose reachability changed. An inner-level
+// update — like an inner-level deletion — forces the scan its cost model
+// charges for: every starting object is re-navigated twice, once with the
+// old state substituted for the updated object and once against the live
+// store, and moved between the records only where the two differ.
+func (nx *NestedIndexNX) OnUpdate(old, upd *oodb.Object) error {
+	l, ok := nx.sp.LevelOf(old.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", old.Class)
+	}
+	if oodb.ValuesEqual(old.Values(nx.sp.Attr(l)), upd.Values(nx.sp.Attr(l))) {
+		return nil
+	}
+	rekey := func(start oodb.OID, before, after map[string]bool) {
+		for k := range before {
+			if !after[k] {
+				nx.tree.Update([]byte(k), func(b []byte) []byte {
+					return removeOID(b, start)
+				})
+			}
+		}
+		for k := range after {
+			if !before[k] {
+				nx.tree.Update([]byte(k), func(b []byte) []byte {
+					return addOID(b, start)
+				})
+			}
+		}
+	}
+	if l == nx.sp.A {
+		rekey(old.OID, nx.reachedValues(old, 0), nx.reachedValues(upd, 0))
+		return nil
+	}
+	nx.store.ScanHierarchy(nx.sp.Path.Class(nx.sp.A), func(start *oodb.Object) bool {
+		rekey(start.OID, nx.reachedValuesAs(start, 0, old), nx.reachedValues(start, 0))
+		return true
+	})
 	return nil
 }
 

@@ -282,6 +282,109 @@ func (px *PathIndexPX) OnInsert(obj *oodb.Object) error {
 	return nil
 }
 
+// OnUpdate re-keys every instantiation suffix the object participates in.
+// PX has no auxiliary structure, so repair navigates: the keys reached
+// before and after come from forward navigation; suffixes through the
+// object (its own and the ancestors' longer ones) are dropped from every
+// affected record; and in the records the object now reaches, its
+// suffixes are rebuilt from the level below and the ancestor chains over
+// them grafted back by scanning the classes of the levels above — the
+// reverse-pointer-free navigation PX's maintenance cost model charges.
+func (px *PathIndexPX) OnUpdate(old, upd *oodb.Object) error {
+	l, ok := px.sp.LevelOf(old.Class)
+	if !ok {
+		return fmt.Errorf("index: class %s not in subpath scope", old.Class)
+	}
+	if oodb.ValuesEqual(old.Values(px.sp.Attr(l)), upd.Values(px.sp.Attr(l))) {
+		return nil
+	}
+	before, err := px.reachedKeys(old, l, 0)
+	if err != nil {
+		return err
+	}
+	after, err := px.reachedKeys(upd, l, 0)
+	if err != nil {
+		return err
+	}
+	newChildren := refSet(upd.Refs(px.sp.Attr(l)))
+	keys := make(map[string]bool, len(before)+len(after))
+	for k := range before {
+		keys[k] = true
+	}
+	for k := range after {
+		keys[k] = true
+	}
+	for k := range keys {
+		rec, err := px.loadRecord([]byte(k))
+		if err != nil {
+			return err
+		}
+		// Drop every suffix through the object, at its own level and
+		// inside ancestors' longer suffixes (as deletion does).
+		for li := 0; li <= l-px.sp.A; li++ {
+			pos := l - px.sp.A - li
+			kept := rec.suffixes[li][:0]
+			for _, s := range rec.suffixes[li] {
+				if pos < len(s) && s[pos] == old.OID {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			rec.suffixes[li] = kept
+		}
+		if after[k] {
+			// Rebuild the object's own suffixes over the record's
+			// level-below suffixes (its children already reach the key)...
+			li := l - px.sp.A
+			var mine [][]oodb.OID
+			if l == px.sp.B {
+				mine = append(mine, []oodb.OID{old.OID})
+			} else {
+				for _, child := range rec.suffixes[li+1] {
+					if newChildren[child[0]] {
+						mine = append(mine, append([]oodb.OID{old.OID}, child...))
+					}
+				}
+			}
+			rec.suffixes[li] = append(rec.suffixes[li], mine...)
+			// ...then graft the ancestor chains back on top of them.
+			px.graftAncestors(rec, l, mine)
+		}
+		px.storeRecord([]byte(k), rec)
+	}
+	return nil
+}
+
+// graftAncestors extends rec upward over freshly added suffixes at level
+// l (all sharing one head object): every object of level l-1 referencing
+// the head gains the one-longer suffixes, recursively up to the subpath's
+// start. Parents are found by scanning their classes in the object store.
+func (px *PathIndexPX) graftAncestors(rec *pxRecord, l int, sufs [][]oodb.OID) {
+	if l == px.sp.A || len(sufs) == 0 {
+		return
+	}
+	head := sufs[0][0]
+	attr := px.sp.Attr(l - 1)
+	li := l - 1 - px.sp.A
+	for _, cn := range px.sp.classesAt(l - 1) {
+		px.store.ScanClass(cn, func(p *oodb.Object) bool {
+			for _, r := range p.Refs(attr) {
+				if r != head {
+					continue
+				}
+				var mine [][]oodb.OID
+				for _, s := range sufs {
+					mine = append(mine, append([]oodb.OID{p.OID}, s...))
+				}
+				rec.suffixes[li] = append(rec.suffixes[li], mine...)
+				px.graftAncestors(rec, l-1, mine)
+				break
+			}
+			return true
+		})
+	}
+}
+
 // OnDelete removes every suffix in which the object participates, at its
 // own level and inside ancestors' longer suffixes.
 func (px *PathIndexPX) OnDelete(obj *oodb.Object) error {

@@ -1,0 +1,337 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/oodb"
+)
+
+// applyUpdate drives one in-place store update through an index: the
+// store is updated first (as the executor does), then the index sees the
+// (old, new) pair.
+func applyUpdate(t testing.TB, f *fixture, ix PathIndex, oid oodb.OID, attrs map[string][]oodb.Value) {
+	t.Helper()
+	old, upd, err := f.store.Update(oid, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.OnUpdate(old, upd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomUpdate mutates a random object of the fixture at a random level:
+// a company's name (ending-value change), a vehicle's manufacturer or a
+// person's ownership (reference re-links).
+func randomUpdate(t testing.TB, f *fixture, ix PathIndex, rng *rand.Rand) {
+	t.Helper()
+	switch rng.Intn(3) {
+	case 0: // re-key a company name
+		comp := f.companies[rng.Intn(len(f.companies))]
+		brand := f.brands[rng.Intn(len(f.brands))]
+		applyUpdate(t, f, ix, comp, map[string][]oodb.Value{"name": {oodb.StrV(brand)}})
+	case 1: // re-link a vehicle to another company
+		all := f.allVehicles()
+		veh := all[rng.Intn(len(all))]
+		comp := f.companies[rng.Intn(len(f.companies))]
+		applyUpdate(t, f, ix, veh, map[string][]oodb.Value{"man": {oodb.RefV(comp)}})
+	default: // re-link a person's owned vehicles
+		per := f.persons[rng.Intn(len(f.persons))]
+		all := f.allVehicles()
+		n := 1 + rng.Intn(3)
+		seen := map[oodb.OID]bool{}
+		var vals []oodb.Value
+		for len(vals) < n {
+			v := all[rng.Intn(len(all))]
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, oodb.RefV(v))
+			}
+		}
+		applyUpdate(t, f, ix, per, map[string][]oodb.Value{"owns": vals})
+	}
+}
+
+// TestOnUpdateMatchesNaive drives hundreds of random in-place updates —
+// ending-value changes and reference re-links at every level — through
+// each organization over the whole path and cross-checks every lookup
+// against forward navigation of the final store state.
+func TestOnUpdateMatchesNaive(t *testing.T) {
+	targets := []struct {
+		class string
+		hier  bool
+	}{{"Person", false}, {"Vehicle", true}, {"Vehicle", false}, {"Bus", false}, {"Company", false}}
+	for _, org := range allOrgs {
+		f := buildFixture(t, 7, 6, 40, 60)
+		ix := f.buildIndex(t, org)
+		rng := rand.New(rand.NewSource(7))
+		for step := 0; step < 240; step++ {
+			randomUpdate(t, f, ix, rng)
+			if step%40 != 39 {
+				continue
+			}
+			for _, brand := range f.brands {
+				for _, tc := range targets {
+					want := f.naiveMatch(t, brand, tc.class, tc.hier)
+					got, err := ix.Lookup(oodb.StrV(brand), tc.class, tc.hier)
+					if err != nil {
+						t.Fatalf("%s: %v", org, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s step %d: Lookup(%s, %s, %v) = %v, want %v",
+							org, step, brand, tc.class, tc.hier, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// subpathMatch is naive ground truth for a subpath index: the OIDs of
+// targetClass (optionally with subclasses) reaching key through the
+// subpath's attributes. For b < len(P) the key is a level-b+1 OID.
+func (f *fixture) subpathMatch(t testing.TB, a, b int, key oodb.Value, targetClass string, hierarchy bool) []oodb.OID {
+	t.Helper()
+	classes := []string{targetClass}
+	if hierarchy {
+		classes = f.store.Schema().Hierarchy(targetClass)
+	}
+	var walk func(o *oodb.Object, l int) bool
+	walk = func(o *oodb.Object, l int) bool {
+		if l == b {
+			for _, v := range o.Values(f.path.Attr(l)) {
+				if v.Equal(key) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range o.Refs(f.path.Attr(l)) {
+			if child, ok := f.store.Peek(r); ok && walk(child, l+1) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []oodb.OID
+	for _, cls := range classes {
+		level := 0
+		for l := a; l <= b; l++ {
+			for _, cn := range f.path.HierarchyAt(l) {
+				if cn == cls {
+					level = l
+				}
+			}
+		}
+		if level == 0 {
+			continue
+		}
+		for _, oid := range f.store.OIDsOfClass(cls) {
+			obj, _ := f.store.Peek(oid)
+			if walk(obj, level) {
+				out = append(out, oid)
+			}
+		}
+	}
+	return oodb.SortUnique(out)
+}
+
+// TestOnUpdateSubpathOIDKeys exercises updates against indexes covering
+// the subpath [1,2] of Person.owns.man.name, whose key domain is the OIDs
+// of the companies at level 3 — re-linking a vehicle's manufacturer moves
+// its whole ownership chain between OID-keyed records.
+func TestOnUpdateSubpathOIDKeys(t *testing.T) {
+	builders := map[string]func(f *fixture) (PathIndex, error){
+		"MX": func(f *fixture) (PathIndex, error) { return NewMultiIndex(f.path, 1, 2, 1024) },
+		"MIX": func(f *fixture) (PathIndex, error) {
+			return NewMultiInheritedIndex(f.path, 1, 2, 1024)
+		},
+		"NIX": func(f *fixture) (PathIndex, error) {
+			return NewNestedInheritedIndex(f.path, 1, 2, 1024)
+		},
+		"PX": func(f *fixture) (PathIndex, error) { return NewPathIndexPX(f.store, f.path, 1, 2, 1024) },
+	}
+	for org, build := range builders {
+		f := buildFixture(t, 11, 5, 30, 45)
+		ix, err := build(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scoped load, deepest level first: vehicles (level 2), then
+		// persons (level 1). Companies are outside the subpath's scope.
+		for _, oid := range append(f.allVehicles(), f.persons...) {
+			obj, _ := f.store.Peek(oid)
+			if err := ix.OnInsert(obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(11))
+		for step := 0; step < 150; step++ {
+			// Only levels 1–2 are in this subpath's scope; routing
+			// out-of-scope updates away is the executor's job.
+			switch rng.Intn(2) {
+			case 0:
+				all := f.allVehicles()
+				veh := all[rng.Intn(len(all))]
+				comp := f.companies[rng.Intn(len(f.companies))]
+				applyUpdate(t, f, ix, veh, map[string][]oodb.Value{"man": {oodb.RefV(comp)}})
+			default:
+				per := f.persons[rng.Intn(len(f.persons))]
+				all := f.allVehicles()
+				veh := all[rng.Intn(len(all))]
+				applyUpdate(t, f, ix, per, map[string][]oodb.Value{"owns": {oodb.RefV(veh)}})
+			}
+			if step%30 != 29 {
+				continue
+			}
+			for _, comp := range f.companies {
+				for _, tc := range []struct {
+					class string
+					hier  bool
+				}{{"Person", false}, {"Vehicle", true}, {"Truck", false}} {
+					want := f.subpathMatch(t, 1, 2, oodb.RefV(comp), tc.class, tc.hier)
+					got, err := ix.Lookup(oodb.RefV(comp), tc.class, tc.hier)
+					if err != nil {
+						t.Fatalf("%s: %v", org, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s step %d: Lookup(company %d, %s, %v) = %v, want %v",
+							org, step, comp, tc.class, tc.hier, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNXOnUpdateMatchesNaive covers the nested index, which answers
+// starting-class queries only: start-level re-links re-navigate directly,
+// inner-level updates force the starting-hierarchy rescan.
+func TestNXOnUpdateMatchesNaive(t *testing.T) {
+	f := buildFixture(t, 13, 6, 40, 60)
+	ix, err := NewNestedIndexNX(f.store, f.path, 1, f.path.Len(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.loadAll(t, ix)
+	rng := rand.New(rand.NewSource(13))
+	for step := 0; step < 180; step++ {
+		randomUpdate(t, f, ix, rng)
+		if step%30 != 29 {
+			continue
+		}
+		for _, brand := range f.brands {
+			want := f.naiveMatch(t, brand, "Person", false)
+			got, err := ix.Lookup(oodb.StrV(brand), "Person", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("NX step %d: Lookup(%s, Person) = %v, want %v", step, brand, got, want)
+			}
+		}
+	}
+}
+
+// TestOnUpdateUnchangedAttrIsFree asserts the fast path: an update that
+// does not touch the subpath attribute performs zero index page accesses
+// in every organization.
+func TestOnUpdateUnchangedAttrIsFree(t *testing.T) {
+	f := buildFixture(t, 17, 4, 12, 16)
+	indexes := map[string]PathIndex{}
+	for _, org := range allOrgs {
+		indexes[org] = f.buildIndex(t, org)
+	}
+	nx, err := NewNestedIndexNX(f.store, f.path, 1, f.path.Len(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.loadAll(t, nx)
+	indexes["NX"] = nx
+	per := f.persons[0]
+	old, upd, err := f.store.Update(per, map[string][]oodb.Value{"residence": {oodb.StrV("Enschede")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for org, ix := range indexes {
+		ix.ResetStats()
+		if err := ix.OnUpdate(old, upd); err != nil {
+			t.Fatalf("%s: %v", org, err)
+		}
+		if got := ix.Stats().Accesses(); got != 0 {
+			t.Errorf("%s: unrelated-attribute update cost %d index page accesses, want 0", org, got)
+		}
+	}
+}
+
+// TestNIXUpdateCheaperThanReinsert pins the two incremental claims: the
+// OnUpdate diff costs no more index pages than a delete + reinsert of the
+// object, and — more importantly — it stays *correct* where delete +
+// reinsert silently is not: OnInsert follows the paper's forward-reference
+// assumption that a fresh object has no parents, so re-inserting an inner
+// object never restores its ancestors' cascaded-away entries. The update
+// path must instead cascade key repair up the path.
+func TestNIXUpdateCheaperThanReinsert(t *testing.T) {
+	f := buildFixture(t, 19, 6, 40, 60)
+	ix := f.buildIndex(t, "NIX")
+	veh := f.allVehicles()[0]
+	obj, _ := f.store.Peek(veh)
+	cur := obj.Refs("man")[0]
+	var other oodb.OID
+	for _, c := range f.companies {
+		if c != cur {
+			other = c
+			break
+		}
+	}
+
+	// Cost of the incremental update.
+	ix.ResetStats()
+	applyUpdate(t, f, ix, veh, map[string][]oodb.Value{"man": {oodb.RefV(other)}})
+	updateCost := ix.Stats().Accesses()
+
+	// Cost of naive delete + reinsert of the same object (same net move,
+	// performed the expensive way on a second index over the same store).
+	ix2 := f.buildIndex(t, "NIX")
+	obj2, _ := f.store.Peek(veh)
+	ix2.ResetStats()
+	if err := ix2.OnDelete(obj2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.OnInsert(obj2); err != nil {
+		t.Fatal(err)
+	}
+	reinsertCost := ix2.Stats().Accesses()
+
+	if updateCost == 0 {
+		t.Fatal("update cost not measured")
+	}
+	if updateCost > reinsertCost {
+		t.Errorf("incremental update cost %d pages, delete+reinsert %d — update must not be dearer", updateCost, reinsertCost)
+	}
+	// The updated index agrees with navigation everywhere; the
+	// delete+reinsert strawman must have dropped at least one ancestor.
+	lost := false
+	for _, brand := range f.brands {
+		want := f.naiveMatch(t, brand, "Person", false)
+		got, err := ix.Lookup(oodb.StrV(brand), "Person", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("OnUpdate diverged from navigation on %s: %v, want %v", brand, got, want)
+		}
+		naive2, err := ix2.Lookup(oodb.StrV(brand), "Person", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(naive2, want) {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Log("note: delete+reinsert happened to preserve all ancestors on this seed")
+	}
+}

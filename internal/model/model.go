@@ -51,7 +51,7 @@ func DefaultParams() Params {
 // the selection on the Figure 7 statistics reproduces the optimal
 // configuration of Example 5.1 exactly — {(Per.owns.man, NIX),
 // (Comp.divs.name, MX)} found after exploring 4 of the 8 recombinations —
-// see EXPERIMENTS.md.
+// see DESIGN.md §6 and `ixbench -run fig8`.
 func PaperParams() Params {
 	return Params{
 		PageSize:  1024,

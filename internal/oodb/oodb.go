@@ -95,6 +95,21 @@ func (v Value) Equal(o Value) bool {
 	}
 }
 
+// ValuesEqual compares two value slices element-wise (order-sensitive).
+// Index maintenance uses it as the cheap "did this attribute actually
+// change" test on the update path.
+func ValuesEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders the value for diagnostics.
 func (v Value) String() string {
 	switch v.Kind {
@@ -156,10 +171,11 @@ type objEntry struct {
 
 // Store is the object database.
 //
-// Concurrency: objects are immutable once inserted, and the catalog maps
-// are guarded by an RWMutex — readers (Get, Peek, the scans, OID
+// Concurrency: objects are immutable once stored — Update installs a
+// fresh object under the same OID instead of mutating — and the catalog
+// maps are guarded by an RWMutex: readers (Get, Peek, the scans, OID
 // listings) run concurrently with each other and serialize only against
-// Insert and Delete. This is what lets the engine collect statistics and
+// Insert, Update and Delete. This is what lets the engine collect statistics and
 // bulk-load replacement indexes in the background while queries keep
 // flowing. The scan callbacks run outside the lock (on an immutable
 // snapshot of the class's objects), so a callback may itself re-enter the
@@ -247,6 +263,45 @@ func (st *Store) ClassCount(class string) int {
 	return n
 }
 
+// validateAttrs checks attribute names, arity and reference targets for
+// an object of the given class: names must resolve on the class (including
+// inherited attributes), single-valued attributes get at most one value,
+// and reference values must point at live objects of the declared domain
+// (or a subclass of it). self, when non-zero, is the OID of the object
+// being updated, which its own references may not point at. Callers hold
+// st.mu.
+func (st *Store) validateAttrs(class string, attrs map[string][]Value, self OID) error {
+	for name, vals := range attrs {
+		decl, ok := st.schema.ResolveAttr(class, name)
+		if !ok {
+			return fmt.Errorf("oodb: class %q has no attribute %q", class, name)
+		}
+		if !decl.MultiValued && len(vals) > 1 {
+			return fmt.Errorf("oodb: attribute %s.%s is single-valued but got %d values", class, name, len(vals))
+		}
+		for _, v := range vals {
+			if decl.Kind == schema.Ref {
+				if v.Kind != RefVal {
+					return fmt.Errorf("oodb: attribute %s.%s needs references", class, name)
+				}
+				if self != 0 && v.Ref == self {
+					return fmt.Errorf("oodb: %s.%s may not reference its own object %d", class, name, self)
+				}
+				target, ok := st.objects[v.Ref]
+				if !ok {
+					return fmt.Errorf("oodb: %s.%s references missing object %d (forward references only)", class, name, v.Ref)
+				}
+				if !st.schema.IsSubclassOf(target.obj.Class, decl.Domain) {
+					return fmt.Errorf("oodb: %s.%s references %s object, want %s", class, name, target.obj.Class, decl.Domain)
+				}
+			} else if v.Kind == RefVal {
+				return fmt.Errorf("oodb: attribute %s.%s is atomic but got a reference", class, name)
+			}
+		}
+	}
+	return nil
+}
+
 // Insert stores a new object of the given class and returns its OID. The
 // class must exist; attribute names must resolve on the class (including
 // inherited attributes); reference values must point at live objects of
@@ -257,30 +312,8 @@ func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
 	if st.schema.Class(class) == nil {
 		return 0, fmt.Errorf("oodb: unknown class %q", class)
 	}
-	for name, vals := range attrs {
-		decl, ok := st.schema.ResolveAttr(class, name)
-		if !ok {
-			return 0, fmt.Errorf("oodb: class %q has no attribute %q", class, name)
-		}
-		if !decl.MultiValued && len(vals) > 1 {
-			return 0, fmt.Errorf("oodb: attribute %s.%s is single-valued but got %d values", class, name, len(vals))
-		}
-		for _, v := range vals {
-			if decl.Kind == schema.Ref {
-				if v.Kind != RefVal {
-					return 0, fmt.Errorf("oodb: attribute %s.%s needs references", class, name)
-				}
-				target, ok := st.objects[v.Ref]
-				if !ok {
-					return 0, fmt.Errorf("oodb: %s.%s references missing object %d (forward references only)", class, name, v.Ref)
-				}
-				if !st.schema.IsSubclassOf(target.obj.Class, decl.Domain) {
-					return 0, fmt.Errorf("oodb: %s.%s references %s object, want %s", class, name, target.obj.Class, decl.Domain)
-				}
-			} else if v.Kind == RefVal {
-				return 0, fmt.Errorf("oodb: attribute %s.%s is atomic but got a reference", class, name)
-			}
-		}
+	if err := st.validateAttrs(class, attrs, 0); err != nil {
+		return 0, err
 	}
 	obj := &Object{OID: st.next, Class: class, Attrs: make(map[string][]Value, len(attrs))}
 	st.next++
@@ -338,6 +371,82 @@ func (st *Store) Peek(oid OID) (*Object, bool) {
 	e, ok := st.objects[oid]
 	st.mu.RUnlock()
 	return e.obj, ok
+}
+
+// Update replaces the named attributes of a live object in place and
+// returns the object's states before and after the change — the pair
+// index maintenance diffs. Attributes not named keep their values; an
+// empty or nil value slice removes the attribute. Validation matches
+// Insert (names resolve on the class, arity, reference domains), with one
+// relaxation: a reference may re-link to any live object of the declared
+// domain, not only earlier-inserted ones — OIDs and classes never change,
+// Definition 2.1 forbids a class from repeating along a path, and
+// navigation depth is bounded by path length, so re-linking cannot make
+// path evaluation diverge. A reference to the object itself is rejected.
+//
+// Page accounting: one read to fetch the object plus one write to store
+// it; when the new size no longer fits its page the object relocates to
+// the tail page of its class (a write on each side, and the old page is
+// freed if it empties).
+//
+// Objects stay immutable: Update installs a fresh *Object under the same
+// OID, so readers holding the old pointer keep a consistent snapshot. A
+// missing OID reports ErrNotFound.
+func (st *Store) Update(oid OID, attrs map[string][]Value) (old, updated *Object, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.objects[oid]
+	if !ok {
+		return nil, nil, fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
+	}
+	old = e.obj
+	if err := st.validateAttrs(old.Class, attrs, oid); err != nil {
+		return nil, nil, err
+	}
+	upd := &Object{OID: oid, Class: old.Class, Attrs: make(map[string][]Value, len(old.Attrs)+len(attrs))}
+	for k, vs := range old.Attrs {
+		upd.Attrs[k] = vs // unchanged attributes share the immutable slices
+	}
+	for k, vs := range attrs {
+		if len(vs) == 0 {
+			delete(upd.Attrs, k)
+			continue
+		}
+		upd.Attrs[k] = append([]Value(nil), vs...)
+	}
+	slot := e.slot
+	if _, err := st.pager.Read(slot.page.ID); err != nil {
+		panic("oodb: lost page: " + err.Error())
+	}
+	if delta := upd.size() - old.size(); slot.used+delta <= st.pager.PageSize() {
+		slot.used += delta
+		st.objects[oid] = objEntry{obj: upd, slot: slot}
+		if err := st.pager.Write(slot.page); err != nil {
+			panic("oodb: lost page: " + err.Error())
+		}
+		return old, upd, nil
+	}
+	// The grown object no longer fits its page: drop it there and
+	// re-place it on the tail page of its class.
+	delete(slot.oids, oid)
+	slot.used -= old.size()
+	if len(slot.oids) == 0 {
+		pages := st.classPages[old.Class]
+		for i, s := range pages {
+			if s == slot {
+				st.classPages[old.Class] = append(pages[:i], pages[i+1:]...)
+				break
+			}
+		}
+		if err := st.pager.Free(slot.page.ID); err != nil {
+			panic("oodb: double free: " + err.Error())
+		}
+	} else if err := st.pager.Write(slot.page); err != nil {
+		panic("oodb: lost page: " + err.Error())
+	}
+	ns := st.placeObject(upd)
+	st.objects[oid] = objEntry{obj: upd, slot: ns}
+	return old, upd, nil
 }
 
 // Delete removes an object, counting a page write (and freeing the page if

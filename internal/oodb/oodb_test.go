@@ -342,3 +342,164 @@ func TestScanHierarchySeesLateAddedSubclass(t *testing.T) {
 		t.Fatalf("ScanHierarchy missed the late-added subclass: saw %v, want [%d]", seen, oid)
 	}
 }
+
+func TestUpdateInPlace(t *testing.T) {
+	st := newStore(t)
+	fiat, err := st.Insert("Company", map[string][]Value{
+		"name": {StrV("Fiat")}, "location": {StrV("Torino")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, upd, err := st.Update(fiat, map[string][]Value{"location": {StrV("Milano")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Values("location")[0].Str != "Torino" {
+		t.Errorf("old location = %v", old.Values("location"))
+	}
+	if upd.Values("location")[0].Str != "Milano" || upd.Values("name")[0].Str != "Fiat" {
+		t.Errorf("updated object = %+v", upd)
+	}
+	if upd.OID != fiat || upd.Class != "Company" {
+		t.Errorf("identity changed: %+v", upd)
+	}
+	got, err := st.Get(fiat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != upd || got.Values("location")[0].Str != "Milano" {
+		t.Errorf("Get after Update = %+v", got)
+	}
+	// The pre-update snapshot is untouched (objects are immutable).
+	if old.Values("location")[0].Str != "Torino" {
+		t.Errorf("old snapshot mutated: %+v", old)
+	}
+	if st.Len() != 1 || st.ClassCount("Company") != 1 {
+		t.Errorf("counts after update: len=%d class=%d", st.Len(), st.ClassCount("Company"))
+	}
+}
+
+func TestUpdateRelink(t *testing.T) {
+	st := newStore(t)
+	a, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	v, err := st.Insert("Vehicle", map[string][]Value{"man": {RefV(a)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-link to an object inserted *after* the vehicle: Update relaxes
+	// the forward-reference restriction to "any live object of the domain".
+	b, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Daf")}})
+	if _, _, err := st.Update(v, map[string][]Value{"man": {RefV(b)}}); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := st.Peek(v)
+	if refs := obj.Refs("man"); len(refs) != 1 || refs[0] != b {
+		t.Errorf("man = %v, want [%d]", refs, b)
+	}
+}
+
+func TestUpdateRemovesAttr(t *testing.T) {
+	st := newStore(t)
+	c, _ := st.Insert("Company", map[string][]Value{
+		"name": {StrV("Fiat")}, "location": {StrV("Torino")},
+	})
+	if _, _, err := st.Update(c, map[string][]Value{"location": nil}); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := st.Peek(c)
+	if obj.Values("location") != nil {
+		t.Errorf("location survived removal: %v", obj.Values("location"))
+	}
+	if obj.Values("name")[0].Str != "Fiat" {
+		t.Errorf("name lost: %+v", obj)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	st := newStore(t)
+	c, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	v, _ := st.Insert("Vehicle", map[string][]Value{"man": {RefV(c)}})
+	p, _ := st.Insert("Person", map[string][]Value{"name": {StrV("Rossi")}})
+	cases := []struct {
+		name  string
+		oid   OID
+		attrs map[string][]Value
+	}{
+		{"missing object", 999, map[string][]Value{"name": {StrV("x")}}},
+		{"unknown attribute", c, map[string][]Value{"bogus": {StrV("x")}}},
+		{"arity", v, map[string][]Value{"man": {RefV(c), RefV(c)}}},
+		{"self reference", v, map[string][]Value{"man": {RefV(v)}}},
+		{"dangling reference", v, map[string][]Value{"man": {RefV(500)}}},
+		{"wrong domain", v, map[string][]Value{"man": {RefV(p)}}},
+		{"atomic gets ref", c, map[string][]Value{"name": {RefV(c)}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := st.Update(tc.oid, tc.attrs); err == nil {
+			t.Errorf("%s: Update succeeded, want error", tc.name)
+		}
+	}
+	if _, _, err := st.Update(999, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing OID error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpdateRelocatesWhenPageOverflows(t *testing.T) {
+	st := newStore(t)
+	// Fill one page with several small divisions, then grow one past the
+	// page boundary: it must relocate without disturbing the others.
+	var oids []OID
+	for i := 0; i < 8; i++ {
+		oid, err := st.Insert("Division", map[string][]Value{"name": {StrV("d")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	before := st.PagesOfClass("Division")
+	big := make([]byte, 2000)
+	for i := range big {
+		big[i] = 'x'
+	}
+	if _, _, err := st.Update(oids[0], map[string][]Value{"name": {StrV(string(big))}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesOfClass("Division"); got <= before {
+		t.Errorf("pages after overflow update = %d, want > %d", got, before)
+	}
+	for _, oid := range oids {
+		if _, ok := st.Peek(oid); !ok {
+			t.Errorf("object %d lost after relocation", oid)
+		}
+	}
+	obj, _ := st.Peek(oids[0])
+	if len(obj.Values("name")[0].Str) != 2000 {
+		t.Errorf("grown value truncated: %d bytes", len(obj.Values("name")[0].Str))
+	}
+}
+
+func TestUpdateCountsPageAccesses(t *testing.T) {
+	st := newStore(t)
+	c, _ := st.Insert("Company", map[string][]Value{"name": {StrV("Fiat")}})
+	st.Pager().ResetStats()
+	if _, _, err := st.Update(c, map[string][]Value{"name": {StrV("Daf")}}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Pager().Stats()
+	if s.Reads < 1 || s.Writes < 1 {
+		t.Errorf("update counted reads=%d writes=%d, want >=1 each", s.Reads, s.Writes)
+	}
+}
+
+func TestValuesEqual(t *testing.T) {
+	a := []Value{IntV(1), StrV("x"), RefV(3)}
+	if !ValuesEqual(a, []Value{IntV(1), StrV("x"), RefV(3)}) {
+		t.Error("equal slices reported unequal")
+	}
+	if ValuesEqual(a, a[:2]) || ValuesEqual(a, []Value{IntV(1), StrV("y"), RefV(3)}) {
+		t.Error("unequal slices reported equal")
+	}
+	if !ValuesEqual(nil, nil) || ValuesEqual(a, nil) {
+		t.Error("nil handling wrong")
+	}
+}

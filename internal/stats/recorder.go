@@ -9,14 +9,19 @@ import (
 	"repro/internal/schema"
 )
 
-// Op identifies one recorded operation kind, mirroring the Section 3.2
-// workload triplet: queries (alpha), insertions (beta), deletions (gamma).
+// Op identifies one recorded operation kind. Queries, insertions and
+// deletions mirror the Section 3.2 workload triplet (alpha, beta, gamma);
+// in-place updates are recorded as their own kind and mapped onto the
+// triplet — half an insertion plus half a deletion, the entry-replacement
+// work an update costs an index — when a snapshot is normalized for the
+// cost model (MergeObserved, LoadDrift).
 type Op uint8
 
 const (
 	OpQuery Op = iota
 	OpInsert
 	OpDelete
+	OpUpdate
 	numOps
 )
 
@@ -104,10 +109,11 @@ type ClassLoad struct {
 	Queries uint64
 	Inserts uint64
 	Deletes uint64
+	Updates uint64
 }
 
 // Ops returns the class's total operation count.
-func (c ClassLoad) Ops() uint64 { return c.Queries + c.Inserts + c.Deletes }
+func (c ClassLoad) Ops() uint64 { return c.Queries + c.Inserts + c.Deletes + c.Updates }
 
 // Workload is a point-in-time view of the recorded traffic: one entry per
 // class of the path's scope, in path order. Total is the sum over entries
@@ -129,6 +135,7 @@ func (r *Recorder) Snapshot() Workload {
 			Queries: r.counts[i*int(numOps)+int(OpQuery)].v.Load(),
 			Inserts: r.counts[i*int(numOps)+int(OpInsert)].v.Load(),
 			Deletes: r.counts[i*int(numOps)+int(OpDelete)].v.Load(),
+			Updates: r.counts[i*int(numOps)+int(OpUpdate)].v.Load(),
 		}
 		w.Classes[i] = c
 		w.Total += c.Ops()
@@ -141,6 +148,13 @@ func (r *Recorder) Snapshot() Workload {
 // cost model expects. Classes with no observed traffic get a zero triplet:
 // the observation replaces the assumed workload rather than blending with
 // it, so re-selection reflects what the system actually served.
+//
+// In-place updates, which the paper's triplet has no slot for, enter as
+// half an insertion plus half a deletion: an update replaces index
+// entries, so per operation it costs an organization about one entry
+// removal plus one entry addition — the same page work the beta and gamma
+// terms price. Each update still weighs exactly one operation in the
+// normalization.
 func MergeObserved(ps *model.PathStats, w Workload) error {
 	if ps == nil {
 		return fmt.Errorf("stats: nil path stats")
@@ -161,8 +175,8 @@ func MergeObserved(ps *model.PathStats, w Workload) error {
 		}
 		load := model.Load{
 			Alpha: float64(c.Queries) / t,
-			Beta:  float64(c.Inserts) / t,
-			Gamma: float64(c.Deletes) / t,
+			Beta:  (float64(c.Inserts) + float64(c.Updates)/2) / t,
+			Gamma: (float64(c.Deletes) + float64(c.Updates)/2) / t,
 		}
 		if err := ps.SetLoad(c.Level, c.Class, load); err != nil {
 			return err
@@ -205,9 +219,12 @@ func LoadDrift(ps *model.PathStats, w Workload) float64 {
 		key := cell{c.Level, c.Class}
 		seen[key] = true
 		a := assumed[key]
+		// Updates map onto the triplet the same way MergeObserved maps
+		// them: half beta, half gamma. Update-heavy traffic against a
+		// query-heavy baseline therefore registers as drift.
 		dist += math.Abs(a.Alpha/assumedSum - float64(c.Queries)/obsSum)
-		dist += math.Abs(a.Beta/assumedSum - float64(c.Inserts)/obsSum)
-		dist += math.Abs(a.Gamma/assumedSum - float64(c.Deletes)/obsSum)
+		dist += math.Abs(a.Beta/assumedSum - (float64(c.Inserts)+float64(c.Updates)/2)/obsSum)
+		dist += math.Abs(a.Gamma/assumedSum - (float64(c.Deletes)+float64(c.Updates)/2)/obsSum)
 	}
 	// Assumed load on classes the observation has no entry for (e.g. a
 	// different-but-overlapping path scope) counts fully toward the

@@ -168,3 +168,79 @@ func TestLoadDrift(t *testing.T) {
 		t.Errorf("drift against zero assumption = %g, want 1", d)
 	}
 }
+
+func TestRecorderCountsUpdates(t *testing.T) {
+	p := schema.PaperPathOwnsManDivsName()
+	r := NewRecorder(p)
+	if !r.Record("Vehicle", OpUpdate) {
+		t.Fatal("update on in-scope class not recorded")
+	}
+	r.Record("Vehicle", OpUpdate)
+	r.Record("Vehicle", OpQuery)
+	w := r.Snapshot()
+	var veh ClassLoad
+	for _, c := range w.Classes {
+		if c.Class == "Vehicle" {
+			veh = c
+		}
+	}
+	if veh.Updates != 2 || veh.Queries != 1 {
+		t.Errorf("vehicle load = %+v, want 2 updates / 1 query", veh)
+	}
+	if veh.Ops() != 3 {
+		t.Errorf("Ops() = %d, want 3 (updates must count)", veh.Ops())
+	}
+	if w.Total != 3 {
+		t.Errorf("Total = %d, want 3", w.Total)
+	}
+}
+
+func TestMergeObservedSplitsUpdates(t *testing.T) {
+	p := schema.PaperPathOwnsManDivsName()
+	ps := model.NewPathStats(p, model.DefaultParams())
+	w := Workload{
+		Total: 4,
+		Classes: []ClassLoad{
+			{Level: 2, Class: "Vehicle", Queries: 2, Updates: 2},
+		},
+	}
+	if err := MergeObserved(ps, w); err != nil {
+		t.Fatal(err)
+	}
+	ls := ps.Level(2)
+	var got model.Load
+	for i, c := range ls.Classes {
+		if c.Class == "Vehicle" {
+			got = ls.Loads[i]
+		}
+	}
+	want := model.Load{Alpha: 0.5, Beta: 0.25, Gamma: 0.25}
+	if got != want {
+		t.Errorf("merged load = %+v, want %+v (update = half beta + half gamma)", got, want)
+	}
+}
+
+func TestLoadDriftSeesUpdateTraffic(t *testing.T) {
+	// Baseline: pure query workload. Observed: pure update workload on the
+	// same class. The drift must be large — this is exactly the signal
+	// that makes the engine re-select for an update-heavy mix.
+	p := schema.PaperPathOwnsManDivsName()
+	ps := model.NewPathStats(p, model.DefaultParams())
+	if err := ps.SetLoad(2, "Vehicle", model.Load{Alpha: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		Total:   100,
+		Classes: []ClassLoad{{Level: 2, Class: "Vehicle", Updates: 100}},
+	}
+	if d := LoadDrift(ps, w); d < 0.9 {
+		t.Errorf("drift under pure-update traffic = %g, want ~1", d)
+	}
+	// Matching update mix drifts near zero: assumed half-beta/half-gamma.
+	if err := ps.SetLoad(2, "Vehicle", model.Load{Beta: 0.5, Gamma: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if d := LoadDrift(ps, w); d > 0.01 {
+		t.Errorf("drift under matching update mix = %g, want ~0", d)
+	}
+}
