@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/oodb"
 	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -117,7 +118,21 @@ type (
 	Update = exec.Update
 	// Generated is a synthetic database materialized from statistics.
 	Generated = gen.Generated
+	// ShardedDB is an OID-hash-partitioned database: N independent
+	// lifecycle engines behind one facade. Writes route to the shard
+	// owning the OID (one modulo, no directory); value queries fan out
+	// and merge answers bit-identically to a single engine; selection
+	// and reconfiguration run per shard, so each partition settles on
+	// the configuration its own traffic justifies. See OpenSharded.
+	ShardedDB = shard.DB
+	// ShardDriftView aggregates per-shard drift (worst shard and
+	// traffic-weighted mean) for a sharded database.
+	ShardDriftView = shard.DriftView
 )
+
+// ErrCrossShard reports an insert or update whose references span
+// shards; a path instance must stay within one shard (see ShardedDB).
+var ErrCrossShard = shard.ErrCrossShard
 
 // IntV, StrV and RefV construct attribute values.
 func IntV(v int64) Value  { return oodb.IntV(v) }
@@ -225,6 +240,20 @@ func Open(st *Store, p *Path, cfg Configuration, pageSize int) (*Database, error
 // re-selection may choose from.
 func OpenWithOptions(st *Store, p *Path, cfg Configuration, pageSize int, opts EngineOptions) (*Database, error) {
 	return engine.New(st, p, cfg, pageSize, opts)
+}
+
+// OpenSharded creates an empty OID-hash-partitioned database: nShards
+// independent engines (each with its own store, index set, workload
+// recorder and drift-triggered re-selection under opts) composed behind
+// one facade. Shard i's store only mints OIDs congruent to i mod
+// nShards, so OID-keyed operations route with one modulo; value queries
+// fan out across shards and merge. Populate through Insert (routed by
+// reference locality, round-robin for reference-free roots) or InsertAt
+// (explicit co-location); drive per-shard selection with Advise,
+// Reconfigure and Shard(i). To shard pre-populated stores, build them
+// with shard.NewStores and open with shard.Open.
+func OpenSharded(p *Path, cfg Configuration, pageSize, nShards int, opts EngineOptions) (*ShardedDB, error) {
+	return shard.New(p.Schema(), p, cfg, pageSize, nShards, shard.Options{Engine: opts})
 }
 
 // OpenStatic builds the working indexes of a fixed configuration without

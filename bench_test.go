@@ -1,5 +1,5 @@
 // Benchmarks regenerating every figure and table of the paper's evaluation
-// (see DESIGN.md §4 for the experiment index). Each benchmark prints the
+// (see DESIGN.md §6 for the experiment index). Each benchmark prints the
 // paper-relevant metrics once via b.Log when run with -v; the benchmark
 // timings themselves measure the cost of the reproduction machinery.
 //
@@ -260,7 +260,7 @@ func BenchmarkSelectMulti(b *testing.B) {
 // BenchmarkSelectBatch measures the batched selection API: many paths per
 // call, one worker per CPU, matrix buffers recycled through a sync.Pool
 // across paths and calls (the repeated-batch steady state is the target of
-// the ≥10x claim in DESIGN.md §4).
+// the ≥10x claim in DESIGN.md §6).
 func BenchmarkSelectBatch(b *testing.B) {
 	for _, paths := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("paths=%d", paths), func(b *testing.B) {

@@ -17,6 +17,9 @@
 //	ixbench -run maintain     # update maintenance cost at mixed
 //	                          # read/write ratios (E3); emits
 //	                          # BENCH_maintain.json
+//	ixbench -run shard        # sharded serving throughput at 1/2/4/8
+//	                          # shards x 1/2/4/8 workers (E4); emits
+//	                          # BENCH_shard.json
 package main
 
 import (
@@ -44,6 +47,7 @@ var modes = []struct{ name, desc string }{
 	{"reconfig", "online reconfiguration under workload drift (E1)"},
 	{"serve", "serving throughput under concurrency; emits BENCH_serve.json (E2)"},
 	{"maintain", "update maintenance cost at mixed read/write ratios; emits BENCH_maintain.json (E3)"},
+	{"shard", "sharded serving throughput at 1/2/4/8 shards x 1/2/4/8 workers; emits BENCH_shard.json (E4)"},
 }
 
 func usage() {
@@ -71,16 +75,18 @@ func main() {
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for the serve experiment's JSON report")
 	maintainOps := flag.Int("maintain-ops", 4000, "operations per cell in the maintain experiment")
 	maintainOut := flag.String("maintain-out", "BENCH_maintain.json", "output file for the maintain experiment's JSON report")
+	shardOps := flag.Int("shard-ops", 4000, "operations per worker in the shard experiment")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "output file for the shard experiment's JSON report")
 	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -187,6 +193,18 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 		}
 		fmt.Println(rep.Render())
 		if err := writeJSON(maintainOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("shard") {
+		ran = true
+		section("E4 — sharded serving throughput")
+		rep, err := experiments.RunShard(seed, []int{1, 2, 4, 8}, []int{1, 2, 4, 8}, shardOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if err := writeJSON(shardOut, rep); err != nil {
 			return err
 		}
 	}

@@ -29,7 +29,10 @@
 //     selection across multiple paths;
 //   - a lifecycle engine that closes the selection loop online: it records
 //     the live workload, detects drift, re-selects and reconfigures the
-//     running database without blocking queries.
+//     running database without blocking queries;
+//   - a sharded engine (OpenSharded) that partitions the OID space across
+//     N independent lifecycle engines, routes writes by OID hash, fans
+//     value queries out and merges, and re-selects per shard.
 //
 // # Quick start
 //
@@ -127,6 +130,40 @@
 // maintenance cost — pages/op by operation kind and ops/sec at mixed
 // read/write ratios — and writes BENCH_maintain.json; DESIGN.md §5
 // records the per-organization formulas and the measured shape.
+//
+// # Sharding
+//
+// OpenSharded composes N independent engines into one OID-hash-
+// partitioned database, the horizontal scaling step past a single
+// engine. Shard i's store only mints OIDs congruent to i mod N, so
+// routing any OID-keyed operation — Get, Update, Delete, every entry of
+// an UpdateBatch — is one modulo: a pure function of the OID, stable for
+// the object's lifetime, with no directory to maintain. Value queries
+// have no OID to hash; they fan out to every shard (one goroutine per
+// shard when cores allow) and merge the per-shard answers, which are
+// disjoint sorted runs, into exactly the result a single engine holding
+// all the objects would return — enforced by a differential test that
+// replays mixed traces against both deployments. Because the paper's
+// model navigates forward references (queries chain through them, NIX
+// and PX maintenance walk them), an object's references must live in its
+// shard: Insert routes a referencing object to the shard owning its
+// references, reference-free roots place round-robin or explicitly with
+// InsertAt, and references spanning shards are rejected (ErrCrossShard)
+// — the co-location contract of partitioned relational stores.
+//
+// Each shard is a full lifecycle engine with its own store, index set,
+// workload recorder and drift tracking, so the Section 5 cost model
+// applies per partition: Advise and Reconfigure re-select every shard
+// independently, and because reads replicate across the fan-out while
+// writes partition, skewed write traffic drives shards to genuinely
+// different configurations (see examples/sharded). WorkloadSnapshot
+// rolls the per-shard recorders up; Drift reports per-shard, worst-shard
+// and traffic-weighted aggregates. Experiment E4 (ixbench -run shard)
+// measures the same mixed serving workload over 1/2/4/8 shards at
+// 1/2/4/8 workers against the E2 single-engine baseline — every
+// deployment serving the identical logical dataset — and writes
+// BENCH_shard.json; DESIGN.md §7 records the architecture and the
+// measured shape.
 //
 // See README.md for the repository map, the examples/ directory for
 // end-to-end programs, and DESIGN.md for the system inventory and the

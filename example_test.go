@@ -78,6 +78,46 @@ func ExampleDatabase_Update() {
 	// Daf owners: 1
 }
 
+// ExampleOpenSharded partitions a database across two shards by OID
+// hash: each path-instance tree is co-located on one shard (InsertAt
+// places its root, references route the rest), OID-keyed operations
+// resolve their shard with one modulo, and value queries fan out across
+// shards and merge — returning exactly what a single engine holding all
+// the objects would.
+func ExampleOpenSharded() {
+	p := ooindex.PaperPath() // Person.owns.man.name over the Figure 1 schema
+	cfg := ooindex.Configuration{Assignments: []ooindex.Assignment{
+		{A: 1, B: 3, Org: ooindex.NIX},
+	}}
+	db, err := ooindex.OpenSharded(p, cfg, 4096, 2, ooindex.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+
+	// One company-vehicle-person tree per shard.
+	fiat, _ := db.InsertAt(0, "Company", map[string][]ooindex.Value{"name": {ooindex.StrV("Fiat")}})
+	daf, _ := db.InsertAt(1, "Company", map[string][]ooindex.Value{"name": {ooindex.StrV("Daf")}})
+	car, _ := db.Insert("Vehicle", map[string][]ooindex.Value{"man": {ooindex.RefV(fiat)}}) // follows Fiat to shard 0
+	bus, _ := db.Insert("Bus", map[string][]ooindex.Value{"man": {ooindex.RefV(daf)}})      // follows Daf to shard 1
+	db.Insert("Person", map[string][]ooindex.Value{"owns": {ooindex.RefV(car)}})
+	db.Insert("Person", map[string][]ooindex.Value{"owns": {ooindex.RefV(bus)}})
+
+	fiatOwners, err := db.Query(ooindex.StrV("Fiat"), "Person", false)
+	if err != nil {
+		panic(err)
+	}
+	dafOwners, _ := db.Query(ooindex.StrV("Daf"), "Person", false)
+	fmt.Println("shards:", db.NumShards())
+	fmt.Println("Fiat owners:", len(fiatOwners))
+	fmt.Println("Daf owners:", len(dafOwners))
+	fmt.Println("Fiat tree on shard", db.ShardOf(car), "- Daf tree on shard", db.ShardOf(bus))
+	// Output:
+	// shards: 2
+	// Fiat owners: 1
+	// Daf owners: 1
+	// Fiat tree on shard 0 - Daf tree on shard 1
+}
+
 // ExampleDatabase_QueryBatch evaluates a batch of point probes against
 // one snapshot of the active configuration; results come back in probe
 // order, bit-identical to issuing the probes sequentially.

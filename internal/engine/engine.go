@@ -23,6 +23,13 @@
 // Delete) serialize with the build-and-swap so the new set is loaded from
 // a stable store; after the swap the retired set is drained before any
 // maintenance touches the structures the new set adopted.
+//
+// An Engine is deliberately self-contained — store, index set, recorder,
+// pager counters and tuning state are all per-instance, with no
+// process-wide registries — so engines compose: internal/shard runs N of
+// them as the shards of one OID-hash-partitioned database, each
+// recording and re-selecting for its own partition's traffic (the
+// two-shard isolation test pins the absence of cross-instance bleed).
 package engine
 
 import (
@@ -325,15 +332,24 @@ func (e *Engine) WorkloadSnapshot() stats.Workload { return e.rec.Snapshot() }
 // distribution the active configuration was selected for and the
 // observed workload; zero until MinOps operations are recorded.
 func (e *Engine) Drift() float64 {
+	_, d := e.DriftStats()
+	return d
+}
+
+// DriftStats returns one workload snapshot together with the drift it
+// implies — for callers that need both consistently (the sharded
+// aggregate weights each shard's drift by the operation count of the
+// very snapshot the drift was computed from).
+func (e *Engine) DriftStats() (stats.Workload, float64) {
 	w := e.rec.Snapshot()
 	if w.Total < e.opts.MinOps {
-		return 0
+		return w, 0
 	}
 	base := e.baseline.Load()
 	if base == nil {
-		return 1
+		return w, 1
 	}
-	return stats.LoadDrift(base, w)
+	return w, stats.LoadDrift(base, w)
 }
 
 // Advise re-collects statistics from the live store, merges the observed

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/oodb"
+)
+
+func TestSplitUpdatesAndScatter(t *testing.T) {
+	ups := []Update{
+		{OID: 1}, {OID: 2}, {OID: 3}, {OID: 4}, {OID: 3}, {OID: 6}, {OID: 1},
+	}
+	shardOf := func(o oodb.OID) int { return int(o % 3) }
+	parts, pos := SplitUpdates(ups, 3, shardOf)
+	// Every update lands in its shard, order preserved within a shard.
+	total := 0
+	for s, part := range parts {
+		for k, u := range part {
+			if shardOf(u.OID) != s {
+				t.Fatalf("shard %d holds OID %d", s, u.OID)
+			}
+			if ups[pos[s][k]].OID != u.OID {
+				t.Fatalf("position map broken at shard %d entry %d", s, k)
+			}
+			total++
+		}
+	}
+	if total != len(ups) {
+		t.Fatalf("split dropped updates: %d of %d", total, len(ups))
+	}
+	// Same-OID updates keep batch order: OID 3 appears at positions 2, 4.
+	if p := pos[0]; len(parts[0]) != 3 || p[0] != 2 || p[1] != 4 || p[2] != 5 {
+		t.Fatalf("shard 0 positions %v", p)
+	}
+	// Scatter puts per-shard errors back at batch positions.
+	perShard := make([][]error, 3)
+	sentinel := errors.New("boom")
+	for s := range parts {
+		perShard[s] = make([]error, len(parts[s]))
+	}
+	perShard[0][1] = sentinel // batch position 4
+	dst := make([]error, len(ups))
+	ScatterErrors(dst, pos, perShard)
+	for i, err := range dst {
+		if (i == 4) != (err != nil) {
+			t.Fatalf("position %d: err %v", i, err)
+		}
+	}
+}
+
+func TestMergeSortedOIDs(t *testing.T) {
+	cases := []struct {
+		dst, src, want []oodb.OID
+	}{
+		{nil, nil, nil},
+		{nil, []oodb.OID{1, 3}, []oodb.OID{1, 3}},
+		{[]oodb.OID{1, 3}, nil, []oodb.OID{1, 3}},
+		{[]oodb.OID{1, 3}, []oodb.OID{5, 7}, []oodb.OID{1, 3, 5, 7}},       // disjoint append fast path
+		{[]oodb.OID{2, 6}, []oodb.OID{1, 4, 9}, []oodb.OID{1, 2, 4, 6, 9}}, // interleaved
+		{[]oodb.OID{1, 4}, []oodb.OID{1, 4}, []oodb.OID{1, 4}},             // overlap dedups
+	}
+	for i, c := range cases {
+		got := MergeSortedOIDs(append([]oodb.OID(nil), c.dst...), c.src)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMergeProbeResults(t *testing.T) {
+	// Three shards answering two probes with disjoint residue classes.
+	byShard := [][][]oodb.OID{
+		{{3, 9}, nil},
+		{{1, 4}, nil},
+		{{2}, nil},
+	}
+	out := MergeProbeResults(byShard)
+	if len(out) != 2 {
+		t.Fatalf("got %d probe results", len(out))
+	}
+	want := []oodb.OID{1, 2, 3, 4, 9}
+	if len(out[0]) != len(want) {
+		t.Fatalf("probe 0: %v, want %v", out[0], want)
+	}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("probe 0: %v, want %v", out[0], want)
+		}
+	}
+	// A probe empty on every shard stays nil — the single-owner contract.
+	if out[1] != nil {
+		t.Fatalf("probe 1: %v, want nil", out[1])
+	}
+	// Single-shard input passes through untouched.
+	solo := MergeProbeResults(byShard[:1])
+	if len(solo) != 2 || len(solo[0]) != 2 || solo[0][0] != 3 {
+		t.Fatalf("single-shard pass-through broken: %v", solo)
+	}
+}

@@ -1,0 +1,443 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// Experiment E4 — sharded serving throughput. E2 measured the
+// single-engine serving path under concurrent workers; E4 measures a
+// sharded serving tier's mix — batches of value probes, by-OID gets,
+// and routed writes — against OID-hash-partitioned deployments of 1,
+// 2, 4 and 8 shards, with a direct single-engine baseline at every
+// worker count. Every deployment serves the identical logical dataset —
+// the same fixed cohorts, laid down whole in one store for the baseline
+// and spread across the shard stores otherwise (see nCohorts) — so a
+// cell isolates what partitioning costs and buys per operation class:
+// by-OID gets and writes route to
+// exactly one shard (parity per operation, and each shard has its own
+// write lock — the axis that scales with cores); value probes have no
+// OID to hash, so they fan out to every shard and pay one index
+// descent per non-matching shard — the measured fan-out tax that a
+// partition-pruning summary would attack. Workers drive probes in
+// batches so the per-batch fan-out is amortized the way a serving tier
+// would batch it. On a single-core host the expected shape is: the
+// one-shard deployment at parity with the engine (the facade adds no
+// goroutines there), routed operations at parity at every shard count,
+// and fanned value reads paying the descent tax with no parallelism to
+// buy it back; on multi-core hosts the same fan-out runs one goroutine
+// per shard and the write locks partition.
+
+// ShardPoint is one measured (configuration, shards, workers) cell.
+type ShardPoint struct {
+	// Config is "engine" for the direct single-engine baseline (the E2
+	// serving path) or "sharded" for a shard.DB deployment.
+	Config string `json:"config"`
+	// Shards is the shard count (1 for the engine baseline).
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	Ops     int     `json:"ops"`
+	Elapsed float64 `json:"elapsed_sec"`
+	// OpsPerSec counts probes and writes (one batch = BatchSize probes).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// P50/P99 are per facade call — one query batch or one write.
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	PagesPerOp float64 `json:"pages_per_op"`
+	// SpeedupVsEngine is OpsPerSec relative to the engine baseline at
+	// the same worker count.
+	SpeedupVsEngine float64 `json:"speedup_vs_engine"`
+	// ProbeMass is the result mass of a canonical one-probe-per-value
+	// sweep against this deployment — identical across deployments,
+	// recording that every cell answered the same queries over the same
+	// logical data.
+	ProbeMass int `json:"probe_mass"`
+}
+
+// ShardReport is experiment E4's outcome, serialized to BENCH_shard.json
+// by `ixbench -run shard`.
+type ShardReport struct {
+	Seed         int64        `json:"seed"`
+	Scale        float64      `json:"scale"`
+	Mix          string       `json:"mix"`
+	BatchSize    int          `json:"batch_size"`
+	OpsPerWorker int          `json:"ops_per_worker"`
+	Points       []ShardPoint `json:"points"`
+}
+
+// shardBackend abstracts one way of serving the batched mixed workload.
+type shardBackend struct {
+	queryBatch func(probes []exec.Probe) error
+	get        func(oid oodb.OID) error
+	ins        func(v oodb.Value) (oodb.OID, error)
+	del        func(oid oodb.OID) error
+	pages      func() uint64
+	// gettable is the by-OID read pool: the Person population, resolved
+	// on whichever shard holds each OID.
+	gettable []oodb.OID
+	// mass is the deployment's canonical probe-sweep result mass — equal
+	// across deployments when the dataset is laid down fairly.
+	mass int
+}
+
+// RunShard measures the engine baseline and each sharded deployment at
+// each worker count, driving opsPerWorker operations (batched probes
+// plus routed writes) per worker.
+func RunShard(seed int64, shardCounts, workerCounts []int, opsPerWorker int) (ShardReport, error) {
+	const batchSize = 8
+	rep := ShardReport{
+		Seed:         seed,
+		Scale:        0.01,
+		Mix:          "60% point-probe batches (3:1 Person:Division) / 30% by-OID gets / 5% insert / 5% delete",
+		BatchSize:    batchSize,
+		OpsPerWorker: opsPerWorker,
+	}
+	ps := model.Figure7Stats()
+
+	// The optimal configuration for the collected statistics under the
+	// Example 5.1 workload — the same selection E2 serves.
+	cfg, err := selectServeConfig(seed, ps, rep.Scale)
+	if err != nil {
+		return rep, err
+	}
+
+	// Probe values come from the full leaf-value domain, identical for
+	// every backend (the sharded datasets keep the same domain size).
+	engineBase := make(map[int]float64)
+	run := func(config string, nShards int, build func() (*shardBackend, []oodb.Value, error)) error {
+		for _, workers := range workerCounts {
+			be, values, err := build()
+			if err != nil {
+				return err
+			}
+			pt, err := measureShard(be, values, config, nShards, workers, opsPerWorker, batchSize)
+			if err != nil {
+				return err
+			}
+			if config == "engine" {
+				engineBase[workers] = pt.OpsPerSec
+			}
+			if base := engineBase[workers]; base > 0 {
+				pt.SpeedupVsEngine = pt.OpsPerSec / base
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+		return nil
+	}
+
+	if err := run("engine", 1, func() (*shardBackend, []oodb.Value, error) {
+		return buildEngineShardBackend(ps, rep.Scale, seed, cfg)
+	}); err != nil {
+		return rep, err
+	}
+	for _, n := range shardCounts {
+		n := n
+		if err := run("sharded", n, func() (*shardBackend, []oodb.Value, error) {
+			return buildShardedBackend(ps, rep.Scale, seed, cfg, n)
+		}); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// selectServeConfig selects the optimal configuration over collected
+// statistics merged with the Figure 7 workload, as E2's optimal backend
+// does.
+func selectServeConfig(seed int64, assumed *model.PathStats, scale float64) (core.Configuration, error) {
+	g, err := gen.Generate(assumed, scale, seed)
+	if err != nil {
+		return core.Configuration{}, err
+	}
+	ps, err := stats.Collect(g.Store, g.Path, model.PaperParams())
+	if err != nil {
+		return core.Configuration{}, err
+	}
+	for l := 1; l <= ps.Len(); l++ {
+		copy(ps.Level(l).Loads, assumed.Level(l).Loads)
+	}
+	res, _, err := core.Select(ps, cost.Organizations)
+	if err != nil {
+		return core.Configuration{}, err
+	}
+	return res.Best, nil
+}
+
+// nCohorts is the fixed partition granularity of E4's dataset: the same
+// nCohorts self-contained cohorts (generated with the same seeds, so
+// identical contents) are laid down in every deployment — all in one
+// store for the engine baseline, spread round-robin across N stores for
+// an N-shard deployment. Every deployment therefore serves the same
+// logical data and the same probe stream returns the same result mass
+// (recorded as probe_mass in the report), so measured differences are
+// deployment effects, not dataset effects. Must be a multiple of every
+// measured shard count.
+const nCohorts = 8
+
+// cohortStats returns one cohort's statistics: the Figure 7 shape with
+// per-class cardinalities divided by the cohort count and distinct
+// counts capped at what the smaller population admits.
+func cohortStats() *model.PathStats {
+	part := model.Figure7Stats()
+	for l := 1; l <= part.Len(); l++ {
+		ls := part.Level(l)
+		for i := range ls.Classes {
+			cs := &ls.Classes[i]
+			cs.N /= float64(nCohorts)
+			if inst := cs.N * cs.NIN; cs.D > inst {
+				cs.D = inst
+			}
+		}
+	}
+	return part
+}
+
+// generateCohorts lays the nCohorts cohorts down across the given
+// stores round-robin (cohort j into store j mod len(stores)), returning
+// the probe-value domain and the Person population.
+func generateCohorts(stores []*oodb.Store, scale float64, seed int64) ([]oodb.Value, []oodb.OID, error) {
+	part := cohortStats()
+	var values []oodb.Value
+	var persons []oodb.OID
+	for j := 0; j < nCohorts; j++ {
+		g, err := gen.GenerateShardIn(stores[j%len(stores)], part, scale, seed+int64(j), nCohorts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(g.EndValues) > len(values) {
+			values = g.EndValues // every cohort draws from this same full-width domain
+		}
+		persons = append(persons, g.ByClass["Person"]...)
+	}
+	return values, persons, nil
+}
+
+// probeMass sweeps one whole-path probe per domain value and sums the
+// result sizes — the fairness check that every deployment answers the
+// same queries with the same mass.
+func probeMass(queryBatch func([]exec.Probe) ([][]oodb.OID, error), values []oodb.Value) (int, error) {
+	probes := make([]exec.Probe, len(values))
+	for i, v := range values {
+		probes[i] = exec.Probe{Value: v, TargetClass: "Person"}
+	}
+	res, err := queryBatch(probes)
+	if err != nil {
+		return 0, err
+	}
+	var mass int
+	for _, r := range res {
+		mass += len(r)
+	}
+	return mass, nil
+}
+
+// buildEngineShardBackend is the direct single-engine baseline: all
+// cohorts in one store, one engine, batches through engine.QueryBatch —
+// the E2 serving path driven in batches.
+func buildEngineShardBackend(ps *model.PathStats, scale float64, seed int64, cfg core.Configuration) (*shardBackend, []oodb.Value, error) {
+	st, err := oodb.NewStore(ps.Path.Schema(), ps.Params.PageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	values, persons, err := generateCohorts([]*oodb.Store{st}, scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := engine.New(st, ps.Path, cfg, ps.Params.PageSize, engine.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mass, err := probeMass(e.QueryBatch, values)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.ResetStats()
+	st.Pager().ResetStats()
+	return &shardBackend{
+		queryBatch: func(probes []exec.Probe) error {
+			_, err := e.QueryBatch(probes)
+			return err
+		},
+		get: func(oid oodb.OID) error {
+			_, err := st.Get(oid)
+			return err
+		},
+		ins: func(v oodb.Value) (oodb.OID, error) {
+			return e.Insert("Division", map[string][]oodb.Value{"name": {v}})
+		},
+		del: func(oid oodb.OID) error { return e.Delete(oid) },
+		pages: func() uint64 {
+			return e.IndexStats().Accesses() + st.Pager().Stats().Accesses()
+		},
+		gettable: persons,
+		mass:     mass,
+	}, values, nil
+}
+
+// buildShardedBackend deploys the same cohorts across nShards stores
+// and serves through the shard.DB facade.
+func buildShardedBackend(ps *model.PathStats, scale float64, seed int64, cfg core.Configuration, nShards int) (*shardBackend, []oodb.Value, error) {
+	if nCohorts%nShards != 0 {
+		return nil, nil, fmt.Errorf("experiments: shard count %d does not divide the %d-cohort dataset", nShards, nCohorts)
+	}
+	stores, err := shard.NewStores(ps.Path.Schema(), ps.Params.PageSize, nShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	values, persons, err := generateCohorts(stores, scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := shard.Open(stores, ps.Path, cfg, ps.Params.PageSize, shard.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mass, err := probeMass(db.QueryBatch, values)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.ResetStats()
+	for i := 0; i < db.NumShards(); i++ {
+		db.Store(i).Pager().ResetStats()
+	}
+	return &shardBackend{
+		queryBatch: func(probes []exec.Probe) error {
+			_, err := db.QueryBatch(probes)
+			return err
+		},
+		get: func(oid oodb.OID) error {
+			_, err := db.Get(oid)
+			return err
+		},
+		ins: func(v oodb.Value) (oodb.OID, error) {
+			return db.Insert("Division", map[string][]oodb.Value{"name": {v}})
+		},
+		del: func(oid oodb.OID) error { return db.Delete(oid) },
+		pages: func() uint64 {
+			total := db.IndexStats().Accesses()
+			for i := 0; i < db.NumShards(); i++ {
+				total += db.Store(i).Pager().Stats().Accesses()
+			}
+			return total
+		},
+		gettable: persons,
+		mass:     mass,
+	}, values, nil
+}
+
+// measureShard drives the batched mixed workload from `workers`
+// goroutines: 60% of iterations issue a batch of batchSize point probes
+// (3:1 Person whole-path to Division ending-level, fanned across
+// shards), 30% a run of batchSize by-OID gets (each routed to one
+// shard), 5% insert, 5% delete. Ops counts probes, gets and writes;
+// latencies are per call (one batch, one get run, or one write).
+func measureShard(be *shardBackend, values []oodb.Value, config string, nShards, workers, opsPerWorker, batchSize int) (ShardPoint, error) {
+	pt := ShardPoint{Config: config, Shards: nShards, Workers: workers, ProbeMass: be.mass}
+	startPages := be.pages()
+	iters := opsPerWorker / batchSize
+	if iters < 20 {
+		iters = 20
+	}
+	lats := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	opsDone := make([]int, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, iters)
+			probes := make([]exec.Probe, batchSize)
+			var pending []oodb.OID
+			for i := 0; i < iters; i++ {
+				v := values[(w*7919+i)%len(values)]
+				t0 := time.Now()
+				var err error
+				switch r := i % 20; {
+				case r == 9: // 5% inserts
+					var oid oodb.OID
+					oid, err = be.ins(v)
+					if err == nil {
+						pending = append(pending, oid)
+					}
+					opsDone[w]++
+				case r == 19 && len(pending) > 0: // 5% deletes
+					err = be.del(pending[len(pending)-1])
+					pending = pending[:len(pending)-1]
+					opsDone[w]++
+				case r%3 == 0: // ~30% by-OID get runs, routed per OID
+					for j := 0; j < batchSize && err == nil; j++ {
+						err = be.get(be.gettable[(w*7919+i*batchSize+j)%len(be.gettable)])
+					}
+					opsDone[w] += batchSize
+				default: // ~60% point-probe batches, fanned across shards
+					for j := range probes {
+						pv := values[(w*7919+i*batchSize+j)%len(values)]
+						if j%4 == 3 {
+							probes[j] = exec.Probe{Value: pv, TargetClass: "Division"}
+						} else {
+							probes[j] = exec.Probe{Value: pv, TargetClass: "Person"}
+						}
+					}
+					err = be.queryBatch(probes)
+					opsDone[w] += batchSize
+				}
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					errs[w] = fmt.Errorf("experiments: %s/%d shards worker %d iter %d: %v", config, nShards, w, i, err)
+					return
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return pt, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, n := range opsDone {
+		pt.Ops += n
+	}
+	pt.Elapsed = elapsed.Seconds()
+	pt.OpsPerSec = float64(pt.Ops) / elapsed.Seconds()
+	pt.P50Micros = float64(all[len(all)/2].Microseconds())
+	pt.P99Micros = float64(all[len(all)*99/100].Microseconds())
+	pt.PagesPerOp = float64(be.pages()-startPages) / float64(pt.Ops)
+	return pt, nil
+}
+
+// Render returns the report as text.
+func (r ShardReport) Render() string {
+	t := NewTable(fmt.Sprintf("E4 — sharded serving throughput (%s, batch=%d)", r.Mix, r.BatchSize),
+		"config", "shards", "workers", "ops", "ops/sec", "p50 µs", "p99 µs", "pages/op", "vs engine")
+	for _, p := range r.Points {
+		t.AddRow(p.Config, p.Shards, p.Workers, p.Ops,
+			fmt.Sprintf("%.0f", p.OpsPerSec),
+			fmt.Sprintf("%.1f", p.P50Micros),
+			fmt.Sprintf("%.1f", p.P99Micros),
+			fmt.Sprintf("%.2f", p.PagesPerOp),
+			fmt.Sprintf("%.2fx", p.SpeedupVsEngine))
+	}
+	return t.Render()
+}

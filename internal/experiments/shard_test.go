@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestRunShardSmoke runs E4 at reduced size and checks the report's
+// invariants: every cell measured, probe mass identical across
+// deployments (the fairness guarantee), and throughput recorded.
+func TestRunShardSmoke(t *testing.T) {
+	rep, err := RunShard(7, []int{1, 2}, []int{1, 2}, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 2 + 2*2 // engine rows + two sharded deployments × worker counts
+	if len(rep.Points) != wantCells {
+		t.Fatalf("got %d points, want %d", len(rep.Points), wantCells)
+	}
+	mass := rep.Points[0].ProbeMass
+	if mass == 0 {
+		t.Fatal("probe mass sweep found nothing")
+	}
+	for _, p := range rep.Points {
+		if p.ProbeMass != mass {
+			t.Fatalf("%s/%d shards: probe mass %d, want %d — deployments not serving the same dataset", p.Config, p.Shards, p.ProbeMass, mass)
+		}
+		if p.OpsPerSec <= 0 || p.Ops == 0 || p.P99Micros < p.P50Micros {
+			t.Fatalf("degenerate cell %+v", p)
+		}
+		if p.Config == "engine" && p.SpeedupVsEngine != 1 {
+			t.Fatalf("engine baseline speedup %g", p.SpeedupVsEngine)
+		}
+	}
+	if rep.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestRunShardRejectsIndivisibleShardCount pins the cohort-divisibility
+// guard.
+func TestRunShardRejectsIndivisibleShardCount(t *testing.T) {
+	if _, err := RunShard(7, []int{3}, []int{1}, 160); err == nil {
+		t.Fatal("3 shards accepted against the 8-cohort dataset")
+	}
+}

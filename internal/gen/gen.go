@@ -29,22 +29,59 @@ type Generated struct {
 // (cardinalities multiplied and rounded up to at least 1 object per class
 // with positive N). The page size comes from ps.Params.
 func Generate(ps *model.PathStats, scale float64, seed int64) (*Generated, error) {
+	st, err := oodb.NewStore(ps.Path.Schema(), ps.Params.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return generateIn(st, ps, scale, seed, 1)
+}
+
+// GenerateIn is Generate materializing into an existing store. The
+// store's schema must match ps's path. The store need not be empty:
+// each call generates a self-contained cohort whose references stay
+// within the cohort, so successive calls into one store accumulate
+// disjoint sub-populations — how a partitionable dataset (or the
+// unsharded union of one) is laid down.
+func GenerateIn(st *oodb.Store, ps *model.PathStats, scale float64, seed int64) (*Generated, error) {
+	return generateIn(st, ps, scale, seed, 1)
+}
+
+// GenerateShardIn is GenerateIn for one cohort of an nParts-way
+// partitionable dataset: ps describes the cohort (per-class
+// cardinalities divided by the cohort count, distinct counts capped at
+// what the smaller population admits), while the ending-value pool
+// keeps the full dataset's width — nParts times the cohort's scaled
+// distinct count — and each cohort draws its values from it under its
+// own seed. A cohort is exactly the unit OID-hash placement with
+// reference co-location moves around: a self-contained sub-population
+// whose references never leave it. Generating the same cohorts (same
+// seeds) into one store or across several therefore materializes the
+// same logical dataset under different deployments — the property the
+// sharding experiment's fairness rests on.
+func GenerateShardIn(st *oodb.Store, ps *model.PathStats, scale float64, seed int64, nParts int) (*Generated, error) {
+	if nParts < 1 {
+		return nil, fmt.Errorf("gen: need at least 1 partition, got %d", nParts)
+	}
+	return generateIn(st, ps, scale, seed, nParts)
+}
+
+func generateIn(st *oodb.Store, ps *model.PathStats, scale float64, seed int64, widen int) (*Generated, error) {
 	if err := ps.Validate(); err != nil {
 		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("gen: nil store")
 	}
 	if scale <= 0 {
 		return nil, fmt.Errorf("gen: scale must be positive, got %g", scale)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	st, err := oodb.NewStore(ps.Path.Schema(), ps.Params.PageSize)
-	if err != nil {
-		return nil, err
-	}
 	g := &Generated{Store: st, Path: ps.Path, ByClass: make(map[string][]oodb.OID)}
 	n := ps.Len()
 
-	// Ending-value pool: the scaled hierarchy-wide distinct count.
-	dEnd := int(math.Ceil(ps.Level(n).DMax() * scale))
+	// Ending-value pool: the scaled hierarchy-wide distinct count,
+	// widened to the full dataset's domain for a sharded partition.
+	dEnd := int(math.Ceil(ps.Level(n).DMax()*scale)) * widen
 	if dEnd < 1 {
 		dEnd = 1
 	}

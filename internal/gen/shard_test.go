@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/oodb"
+)
+
+// classValueCensus renders a store's contents as sorted
+// "class/attr=value" lines — a deployment-independent fingerprint (OIDs
+// excluded, since deployments mint them differently).
+func classValueCensus(stores ...*oodb.Store) []string {
+	var out []string
+	for _, st := range stores {
+		for _, cn := range st.Schema().Classes() {
+			st.ScanClass(cn, func(o *oodb.Object) bool {
+				for attr, vals := range o.Attrs {
+					for _, v := range vals {
+						if v.Kind == oodb.RefVal {
+							out = append(out, fmt.Sprintf("%s/%s=ref", cn, attr))
+						} else {
+							out = append(out, fmt.Sprintf("%s/%s=%s", cn, attr, v))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCohortDeploymentEquivalence pins the property the sharding
+// experiment's fairness rests on: generating the same cohorts (same
+// seeds) into one store or across several materializes the same logical
+// dataset — identical class populations and identical leaf-value
+// multisets, only the OIDs differ.
+func TestCohortDeploymentEquivalence(t *testing.T) {
+	ps := model.Figure7Stats()
+	const nCohorts = 4
+	part := model.Figure7Stats()
+	for l := 1; l <= part.Len(); l++ {
+		ls := part.Level(l)
+		for i := range ls.Classes {
+			cs := &ls.Classes[i]
+			cs.N /= nCohorts
+			if inst := cs.N * cs.NIN; cs.D > inst {
+				cs.D = inst
+			}
+		}
+	}
+	union, err := oodb.NewStore(ps.Path.Schema(), ps.Params.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := make([]*oodb.Store, 2)
+	for i := range split {
+		split[i], err = oodb.NewStoreSeq(ps.Path.Schema(), ps.Params.PageSize, oodb.OID(i+1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < nCohorts; j++ {
+		if _, err := GenerateShardIn(union, part, 0.01, int64(100+j), nCohorts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := GenerateShardIn(split[j%2], part, 0.01, int64(100+j), nCohorts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := classValueCensus(split...)
+	want := classValueCensus(union)
+	if len(got) != len(want) {
+		t.Fatalf("census sizes differ: union %d, split %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("census line %d differs: union %q, split %q", i, want[i], got[i])
+		}
+	}
+	if union.Len() != split[0].Len()+split[1].Len() {
+		t.Fatalf("population differs: union %d, split %d+%d", union.Len(), split[0].Len(), split[1].Len())
+	}
+}

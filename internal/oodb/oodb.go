@@ -196,6 +196,7 @@ type Store struct {
 
 	mu      sync.RWMutex // guards next, objects, classPages
 	next    OID
+	stride  OID // OID sequence step; 1 for a standalone store
 	objects map[OID]objEntry
 	// classPages maps a class to its pages in allocation order; the last
 	// page receives new objects until full.
@@ -203,9 +204,28 @@ type Store struct {
 }
 
 // NewStore creates a store over its own pager with the given page size.
+// OIDs are minted sequentially from 1.
 func NewStore(s *schema.Schema, pageSize int) (*Store, error) {
+	return NewStoreSeq(s, pageSize, 1, 1)
+}
+
+// NewStoreSeq is NewStore with an explicit OID sequence: the store mints
+// first, first+stride, first+2*stride, ... This is the shard-aware
+// allocation underpinning OID-hash partitioning: a store created with
+// (first = i or n, stride = n) only ever mints OIDs congruent to
+// i mod n, so a router can resolve any OID to its shard with one
+// modulo — a pure function of the OID, stable for the object's whole
+// lifetime, with no directory to maintain. first must be at least 1
+// (zero is never a valid OID) and stride at least 1.
+func NewStoreSeq(s *schema.Schema, pageSize int, first OID, stride uint64) (*Store, error) {
 	if s == nil {
 		return nil, fmt.Errorf("oodb: nil schema")
+	}
+	if first < 1 {
+		return nil, fmt.Errorf("oodb: first OID must be at least 1, got %d", first)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("oodb: OID stride must be at least 1, got %d", stride)
 	}
 	pager, err := storage.NewPager(pageSize, 0)
 	if err != nil {
@@ -219,10 +239,20 @@ func NewStore(s *schema.Schema, pageSize int) (*Store, error) {
 		schema:     s,
 		pager:      pager,
 		hier:       hier,
-		next:       1,
+		next:       first,
+		stride:     OID(stride),
 		objects:    make(map[OID]objEntry),
 		classPages: make(map[string][]*pageSlot),
 	}, nil
+}
+
+// OIDSeq returns the store's OID sequence position: the OID the next
+// Insert will mint and the sequence stride. A sharded deployment uses it
+// to verify that a store's allocation pattern matches its shard slot.
+func (st *Store) OIDSeq() (next OID, stride uint64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.next, uint64(st.stride)
 }
 
 // hierarchyOf returns the pre-resolved hierarchy of a class. If any class
@@ -316,7 +346,7 @@ func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
 		return 0, err
 	}
 	obj := &Object{OID: st.next, Class: class, Attrs: make(map[string][]Value, len(attrs))}
-	st.next++
+	st.next += st.stride
 	for k, vs := range attrs {
 		obj.Attrs[k] = append([]Value(nil), vs...)
 	}

@@ -1,0 +1,61 @@
+package oodb
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestStoreSeqStride pins the shard-aware OID allocation: a store
+// created with (first, stride) mints exactly first, first+stride, ...,
+// so every OID it ever produces stays in one residue class.
+func TestStoreSeqStride(t *testing.T) {
+	s := schema.PaperSchema()
+	st, err := NewStoreSeq(s, 1024, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OID(3)
+	for i := 0; i < 10; i++ {
+		oid, err := st.Insert("Company", map[string][]Value{"name": {StrV("x")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oid != want {
+			t.Fatalf("insert %d minted OID %d, want %d", i, oid, want)
+		}
+		if oid%4 != 3 {
+			t.Fatalf("OID %d escaped residue class 3 mod 4", oid)
+		}
+		want += 4
+	}
+	next, stride := st.OIDSeq()
+	if next != want || stride != 4 {
+		t.Fatalf("OIDSeq() = (%d, %d), want (%d, 4)", next, stride, want)
+	}
+	// Deletes and updates never disturb the sequence.
+	if err := st.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if oid, err := st.Insert("Company", map[string][]Value{"name": {StrV("y")}}); err != nil || oid != want {
+		t.Fatalf("post-delete insert minted %d (err %v), want %d", oid, err, want)
+	}
+}
+
+func TestStoreSeqValidation(t *testing.T) {
+	s := schema.PaperSchema()
+	if _, err := NewStoreSeq(s, 1024, 0, 1); err == nil {
+		t.Fatal("first OID 0 accepted")
+	}
+	if _, err := NewStoreSeq(s, 1024, 1, 0); err == nil {
+		t.Fatal("stride 0 accepted")
+	}
+	// NewStore is the (1, 1) special case.
+	st, err := NewStore(s, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next, stride := st.OIDSeq(); next != 1 || stride != 1 {
+		t.Fatalf("NewStore sequence = (%d, %d), want (1, 1)", next, stride)
+	}
+}

@@ -1,0 +1,549 @@
+// Package shard composes N independent lifecycle engines into one
+// OID-hash-partitioned database — the horizontal scaling step between
+// the single-engine serving path and a multi-backend deployment.
+//
+// Partitioning model. The OID space is split into residue classes:
+// shard i's store only ever mints OIDs congruent to i mod N
+// (oodb.NewStoreSeq), so routing any OID-keyed operation — Get, Update,
+// Delete, each entry of an UpdateBatch — is one modulo, a pure function
+// of the OID that stays correct for the object's whole lifetime with no
+// directory to maintain or rebalance. Value queries have no OID to hash:
+// they fan out to every shard and merge the per-shard answers, which are
+// disjoint sorted runs (the shards partition the OID space), so the
+// merged result is bit-identical to evaluating against one store holding
+// everything — the shard-equivalence differential test enforces exactly
+// this.
+//
+// Reference locality. The paper's model navigates forward references
+// during query evaluation and index maintenance (NIX cascades, PX
+// regrafting), so an object's referenced objects must be resident in its
+// shard: a path instance never crosses a shard boundary. Insert routes a
+// referencing object to the shard owning its references (and rejects
+// references spanning shards); an object with no references — the start
+// of a new path-instance tree — is placed round-robin, or explicitly
+// with InsertAt when the caller wants to co-locate a tree it is about to
+// grow. This is the co-location contract of partitioned relational
+// stores (interleaved tables, colocated distribution keys) transplanted
+// to the aggregation hierarchy.
+//
+// Per-shard selection. Each shard is a complete engine.Engine: its own
+// store, index set, workload recorder and drift-triggered
+// reconfiguration. The paper's cost model holds per partition — a
+// shard's statistics describe exactly the objects and traffic it serves
+// — so Advise and Reconfigure run the Section 5 selection independently
+// per shard, and a hot, update-heavy shard can settle on a
+// cheap-to-maintain split while a cold, query-heavy one keeps the
+// whole-path NIX (the per-partition advising CoPhy's decomposition and
+// Meta's AIM argue for). Because a value query fans out everywhere,
+// read load replicates across shards while write load partitions; it is
+// write locality that makes per-shard mixes — and therefore per-shard
+// optima — diverge. WorkloadSnapshot rolls the per-shard recorders up
+// into the fleet-wide view; Drift aggregates the per-shard drifts.
+//
+// Concurrency. The facade adds no locking of its own: queries fan out
+// with one goroutine per shard (the first shard's probe runs on the
+// calling goroutine, and a one-shard database never spawns), each shard
+// answering under its engine's usual atomic-snapshot discipline, with
+// the shard-local worker pools of QueryBatch/UpdateBatch intact. Writes
+// partition across the per-shard write locks, so N shards admit N
+// concurrent writers where the single engine serializes on one — on
+// multi-core hosts this is the scaling axis experiment E4 measures.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// ErrCrossShard reports an insert or update whose reference attributes
+// point at objects living in different shards (or in a shard other than
+// the routed one). The partitioning model keeps every path instance
+// within one shard; co-locate the referenced objects (InsertAt places a
+// new tree's root explicitly) or re-link within the owning shard.
+var ErrCrossShard = errors.New("shard: references span shards")
+
+// Options tune a sharded database.
+type Options struct {
+	// Engine is applied to every shard's lifecycle engine: each shard
+	// gets its own recorder, drift threshold and auto-tuning loop over
+	// these shared settings. Per-shard divergence comes from the traffic,
+	// not the options.
+	Engine engine.Options
+}
+
+// DB is an OID-hash-partitioned database: N independent lifecycle
+// engines behind one facade. Point writes route by OID residue; value
+// queries fan out and merge; selection and reconfiguration run per
+// shard. See the package comment for the partitioning model.
+type DB struct {
+	path   *schema.Path
+	shards []*engine.Engine
+	stores []*oodb.Store
+	rr     atomic.Uint64 // round-robin cursor for reference-free inserts
+}
+
+// NewStores creates n empty stores over the schema whose OID sequences
+// partition the OID space into residue classes: store i mints only OIDs
+// congruent to i mod n. Populate them (directly, or through a DB after
+// Open) and pass them to Open.
+func NewStores(s *schema.Schema, pageSize, n int) ([]*oodb.Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	stores := make([]*oodb.Store, n)
+	for i := range stores {
+		first := oodb.OID(i)
+		if i == 0 {
+			first = oodb.OID(n) // zero is never a valid OID
+		}
+		st, err := oodb.NewStoreSeq(s, pageSize, first, uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = st
+	}
+	return stores, nil
+}
+
+// New creates an empty n-shard database over the schema, every shard
+// starting on cfg. The stores are created with NewStores; populate
+// through Insert/InsertAt.
+func New(s *schema.Schema, p *schema.Path, cfg core.Configuration, pageSize, n int, opts Options) (*DB, error) {
+	stores, err := NewStores(s, pageSize, n)
+	if err != nil {
+		return nil, err
+	}
+	return Open(stores, p, cfg, pageSize, opts)
+}
+
+// Open builds a sharded database over pre-populated stores (one shard
+// per store, in slice order), every shard starting on cfg. Each store's
+// OID sequence must match its slot — stride len(stores), residue i —
+// so that routing by OID residue resolves every object to the store
+// actually holding it; stores from NewStores satisfy this.
+func Open(stores []*oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int, opts Options) (*DB, error) {
+	n := len(stores)
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 store")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("shard: nil path")
+	}
+	db := &DB{path: p, stores: stores, shards: make([]*engine.Engine, n)}
+	for i, st := range stores {
+		if st == nil {
+			return nil, fmt.Errorf("shard: nil store at slot %d", i)
+		}
+		next, stride := st.OIDSeq()
+		if stride != uint64(n) || int(next%oodb.OID(n)) != i%n {
+			return nil, fmt.Errorf("shard: store at slot %d allocates OIDs (next %d, stride %d); want stride %d with residue %d — create the stores with shard.NewStores", i, next, stride, n, i)
+		}
+		e, err := engine.New(st, p, cfg, pageSize, opts.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("shard: opening shard %d: %w", i, err)
+		}
+		db.shards[i] = e
+	}
+	return db, nil
+}
+
+// NumShards returns the number of shards.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// ShardOf resolves an OID to the shard holding it — one modulo, the
+// routing function every OID-keyed operation uses.
+func (db *DB) ShardOf(oid oodb.OID) int { return int(oid % oodb.OID(len(db.shards))) }
+
+// Shard returns shard i's lifecycle engine, for per-shard inspection and
+// control (per-shard Advise/Reconfigure, workload snapshots, index
+// stats).
+func (db *DB) Shard(i int) *engine.Engine { return db.shards[i] }
+
+// Store returns shard i's object store.
+func (db *DB) Store(i int) *oodb.Store { return db.stores[i] }
+
+// Path returns the indexed path.
+func (db *DB) Path() *schema.Path { return db.path }
+
+// Len returns the total number of live objects across shards.
+func (db *DB) Len() int {
+	var n int
+	for _, st := range db.stores {
+		n += st.Len()
+	}
+	return n
+}
+
+// refShard scans attrs for reference values and returns the one shard
+// they all live in; -1 when attrs hold no references. References
+// spanning shards report ErrCrossShard.
+func (db *DB) refShard(attrs map[string][]oodb.Value) (int, error) {
+	target := -1
+	for name, vals := range attrs {
+		for _, v := range vals {
+			if v.Kind != oodb.RefVal {
+				continue
+			}
+			s := db.ShardOf(v.Ref)
+			if target == -1 {
+				target = s
+			} else if target != s {
+				return 0, fmt.Errorf("%w: %s references object %d in shard %d, but an earlier reference lives in shard %d", ErrCrossShard, name, v.Ref, s, target)
+			}
+		}
+	}
+	return target, nil
+}
+
+// Insert stores a new object, routing by reference locality: an object
+// holding references goes to the shard owning them (references spanning
+// shards report ErrCrossShard); an object with no references — the root
+// of a new path-instance tree — is placed round-robin across shards.
+// Use InsertAt to place a reference-free object on a chosen shard.
+func (db *DB) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
+	target, err := db.refShard(attrs)
+	if err != nil {
+		return 0, err
+	}
+	if target < 0 {
+		target = int((db.rr.Add(1) - 1) % uint64(len(db.shards)))
+	}
+	return db.shards[target].Insert(class, attrs)
+}
+
+// InsertAt stores a new object on an explicit shard — how a caller
+// co-locates the objects of a path-instance tree it is about to link
+// together. Reference attributes, if any, must already live on that
+// shard.
+func (db *DB) InsertAt(i int, class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
+	if i < 0 || i >= len(db.shards) {
+		return 0, fmt.Errorf("shard: no shard %d (have %d)", i, len(db.shards))
+	}
+	target, err := db.refShard(attrs)
+	if err != nil {
+		return 0, err
+	}
+	if target >= 0 && target != i {
+		return 0, fmt.Errorf("%w: attributes reference shard %d, object placed on shard %d", ErrCrossShard, target, i)
+	}
+	return db.shards[i].Insert(class, attrs)
+}
+
+// Get fetches an object from the shard holding it, counting the page
+// read there.
+func (db *DB) Get(oid oodb.OID) (*oodb.Object, error) {
+	return db.stores[db.ShardOf(oid)].Get(oid)
+}
+
+// Update applies an in-place update, routed by OID. A re-link may only
+// target objects within the same shard (ErrCrossShard otherwise); a
+// missing OID reports oodb.ErrNotFound from the owning shard.
+func (db *DB) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
+	s := db.ShardOf(oid)
+	target, err := db.refShard(attrs)
+	if err != nil {
+		return err
+	}
+	if target >= 0 && target != s {
+		return fmt.Errorf("%w: update of object %d (shard %d) references shard %d", ErrCrossShard, oid, s, target)
+	}
+	return db.shards[s].Update(oid, attrs)
+}
+
+// Delete removes an object, routed by OID.
+func (db *DB) Delete(oid oodb.OID) error {
+	return db.shards[db.ShardOf(oid)].Delete(oid)
+}
+
+// UpdateBatch applies a batch of in-place updates, split by OID residue
+// into per-shard sub-batches that run concurrently — each under its
+// shard's own write lock and worker pool, so the batch's writes genuinely
+// partition instead of serializing on one lock. Within a shard the
+// sub-batch keeps its original order (same-OID updates stay ordered,
+// the UpdateBatch invariant). The result has one entry per update in
+// batch order, nil on success; a failed update never stops the rest.
+func (db *DB) UpdateBatch(ups []exec.Update) []error {
+	n := len(db.shards)
+	if n == 1 {
+		return db.shards[0].UpdateBatch(ups)
+	}
+	parts, pos := exec.SplitUpdates(ups, n, db.ShardOf)
+	perShard := make([][]error, n)
+	if db.spawnFanOut() {
+		var wg sync.WaitGroup
+		for s := 1; s < n; s++ {
+			if len(parts[s]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				perShard[s] = db.shards[s].UpdateBatch(parts[s])
+			}(s)
+		}
+		if len(parts[0]) > 0 {
+			perShard[0] = db.shards[0].UpdateBatch(parts[0])
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s < n; s++ {
+			if len(parts[s]) > 0 {
+				perShard[s] = db.shards[s].UpdateBatch(parts[s])
+			}
+		}
+	}
+	errs := make([]error, len(ups))
+	exec.ScatterErrors(errs, pos, perShard)
+	return errs
+}
+
+// spawnFanOut reports whether a cross-shard fan-out should spawn
+// goroutines: only when there is more than one shard and more than one
+// processor. On a single processor the spawned shards would run
+// sequentially anyway, so the facade saves the scheduling churn and
+// walks them in shard order on the calling goroutine — the results are
+// identical either way.
+func (db *DB) spawnFanOut() bool {
+	return len(db.shards) > 1 && runtime.GOMAXPROCS(0) > 1
+}
+
+// fanOut runs f against every shard — shard 0 on the calling goroutine,
+// the rest on their own when parallelism is available — and merges the
+// per-shard OID sets, which are disjoint sorted runs, into one sorted
+// result. The first error in shard order wins, deterministically.
+func (db *DB) fanOut(f func(e *engine.Engine) ([]oodb.OID, error)) ([]oodb.OID, error) {
+	if len(db.shards) == 1 {
+		return f(db.shards[0])
+	}
+	results := make([][]oodb.OID, len(db.shards))
+	errs := make([]error, len(db.shards))
+	if db.spawnFanOut() {
+		var wg sync.WaitGroup
+		for s := 1; s < len(db.shards); s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				results[s], errs[s] = f(db.shards[s])
+			}(s)
+		}
+		results[0], errs[0] = f(db.shards[0])
+		wg.Wait()
+	} else {
+		for s, e := range db.shards {
+			results[s], errs[s] = f(e)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []oodb.OID
+	for _, r := range results {
+		out = exec.MergeSortedOIDs(out, r)
+	}
+	return out, nil
+}
+
+// Query evaluates A_n = value for targetClass across every shard and
+// merges the answers — matching objects can live anywhere in the
+// partitioned OID space, so a value predicate consults all shards. The
+// merged result is sorted and duplicate-free, bit-identical to the same
+// query against a single engine holding all the objects.
+func (db *DB) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	return db.fanOut(func(e *engine.Engine) ([]oodb.OID, error) {
+		return e.Query(value, targetClass, hierarchy)
+	})
+}
+
+// QueryRange evaluates A_n IN [lo, hi) for targetClass across every
+// shard, merging as Query does.
+func (db *DB) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	return db.fanOut(func(e *engine.Engine) ([]oodb.OID, error) {
+		return e.QueryRange(lo, hi, targetClass, hierarchy)
+	})
+}
+
+// QueryBatch evaluates a batch of point probes: every shard answers the
+// whole batch against one snapshot of its own active configuration —
+// shard-local worker pools intact, one fan-out per batch rather than
+// per probe — and the per-shard answers merge per probe. Results are in
+// probe order, each sorted and duplicate-free, bit-identical to the
+// batch against a single engine. A reconfiguration on any shard
+// concurrent with the batch swaps that shard's set but never blocks the
+// batch.
+func (db *DB) QueryBatch(probes []exec.Probe) ([][]oodb.OID, error) {
+	n := len(db.shards)
+	if n == 1 {
+		return db.shards[0].QueryBatch(probes)
+	}
+	byShard := make([][][]oodb.OID, n)
+	errs := make([]error, n)
+	if db.spawnFanOut() {
+		var wg sync.WaitGroup
+		for s := 1; s < n; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				byShard[s], errs[s] = db.shards[s].QueryBatch(probes)
+			}(s)
+		}
+		byShard[0], errs[0] = db.shards[0].QueryBatch(probes)
+		wg.Wait()
+	} else {
+		for s, e := range db.shards {
+			byShard[s], errs[s] = e.QueryBatch(probes)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return exec.MergeProbeResults(byShard), nil
+}
+
+// Advise runs one re-selection pass per shard — each over its own
+// collected statistics and observed workload — without touching any
+// active configuration. Advice comes back in shard order.
+func (db *DB) Advise() ([]engine.Advice, error) {
+	out := make([]engine.Advice, len(db.shards))
+	for i, e := range db.shards {
+		adv, err := e.Advise()
+		if err != nil {
+			return out, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out[i] = adv
+	}
+	return out, nil
+}
+
+// Reconfigure runs one observe → re-select → diff-build → swap cycle on
+// every shard, each independently: a hot shard can swap to a
+// maintenance-light configuration while a cold one keeps what it has.
+// Reports come back in shard order; the first failing shard stops the
+// sweep (earlier shards keep their new configurations).
+func (db *DB) Reconfigure() ([]engine.Report, error) {
+	out := make([]engine.Report, len(db.shards))
+	for i, e := range db.shards {
+		rep, err := e.Reconfigure()
+		out[i] = rep
+		if err != nil {
+			return out, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Configs returns the active configuration of every shard, in shard
+// order — after reconfiguration under skewed traffic these genuinely
+// differ.
+func (db *DB) Configs() []core.Configuration {
+	out := make([]core.Configuration, len(db.shards))
+	for i, e := range db.shards {
+		out[i] = e.Config()
+	}
+	return out
+}
+
+// WorkloadSnapshots returns each shard's recorded traffic — the
+// per-partition statistics its next selection will run on.
+func (db *DB) WorkloadSnapshots() []stats.Workload {
+	out := make([]stats.Workload, len(db.shards))
+	for i, e := range db.shards {
+		out[i] = e.WorkloadSnapshot()
+	}
+	return out
+}
+
+// WorkloadSnapshot returns the fleet-wide roll-up of the per-shard
+// recorders. It aggregates shard-level work: a fanned-out value query
+// contributes one query per shard, because every shard served a probe
+// for it — the capacity-relevant count. Write operations, which route
+// to exactly one shard, each count once.
+func (db *DB) WorkloadSnapshot() stats.Workload {
+	return stats.MergeWorkloads(db.WorkloadSnapshots()...)
+}
+
+// DriftView is the aggregate drift over a sharded database: per-shard
+// drifts plus the two fleet-level summaries a re-selection policy wants
+// — the worst shard and the traffic-weighted mean.
+type DriftView struct {
+	// PerShard is each shard's own drift (engine.Drift), shard order.
+	PerShard []float64
+	// Max is the largest per-shard drift: the trigger view, since
+	// reconfiguration is per shard and the worst shard reconfigures
+	// first.
+	Max float64
+	// Weighted is the mean of the per-shard drifts weighted by each
+	// shard's observed operation count — low when only idle shards have
+	// drifted.
+	Weighted float64
+}
+
+// Drift returns the aggregate drift view across shards. Each shard's
+// drift and its weight come from one recorder snapshot, so the weight
+// counts exactly the traffic the drift was computed over.
+func (db *DB) Drift() DriftView {
+	v := DriftView{PerShard: make([]float64, len(db.shards))}
+	var wsum, osum float64
+	for i, e := range db.shards {
+		w, d := e.DriftStats()
+		v.PerShard[i] = d
+		if d > v.Max {
+			v.Max = d
+		}
+		ops := float64(w.Total)
+		wsum += d * ops
+		osum += ops
+	}
+	if osum > 0 {
+		v.Weighted = wsum / osum
+	}
+	return v
+}
+
+// IndexStats sums the page-access counters of every shard's active index
+// set.
+func (db *DB) IndexStats() storage.Stats {
+	var total storage.Stats
+	for _, e := range db.shards {
+		total.Add(e.IndexStats())
+	}
+	return total
+}
+
+// ResetStats zeroes every shard's index counters.
+func (db *DB) ResetStats() {
+	for _, e := range db.shards {
+		e.ResetStats()
+	}
+}
+
+// Swaps returns the total number of configuration swaps across shards.
+func (db *DB) Swaps() uint64 {
+	var n uint64
+	for _, e := range db.shards {
+		n += e.Swaps()
+	}
+	return n
+}
+
+// Quiesce blocks until every shard's in-flight background
+// reconfiguration has finished.
+func (db *DB) Quiesce() {
+	for _, e := range db.shards {
+		e.Quiesce()
+	}
+}

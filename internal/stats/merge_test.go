@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestMergeWorkloads pins the sharded roll-up: per-shard snapshots over
+// the same path merge cell-wise, keep path order, and sum totals.
+func TestMergeWorkloads(t *testing.T) {
+	p := schema.PaperPathOwnsManName()
+	r1, r2 := NewRecorder(p), NewRecorder(p)
+	r1.Record("Person", OpQuery)
+	r1.Record("Person", OpQuery)
+	r1.Record("Company", OpInsert)
+	r2.Record("Person", OpQuery)
+	r2.Record("Vehicle", OpUpdate)
+	r2.Record("Company", OpDelete)
+
+	merged := MergeWorkloads(r1.Snapshot(), r2.Snapshot())
+	if merged.Total != 6 {
+		t.Fatalf("merged total %d, want 6", merged.Total)
+	}
+	byClass := make(map[string]ClassLoad)
+	for i, c := range merged.Classes {
+		byClass[c.Class] = c
+		// Path order is preserved: levels ascend through the slice.
+		if i > 0 && merged.Classes[i-1].Level > c.Level {
+			t.Fatalf("classes out of level order: %+v", merged.Classes)
+		}
+	}
+	if c := byClass["Person"]; c.Queries != 3 || c.Ops() != 3 {
+		t.Fatalf("Person cell %+v", c)
+	}
+	if c := byClass["Vehicle"]; c.Updates != 1 {
+		t.Fatalf("Vehicle cell %+v", c)
+	}
+	if c := byClass["Company"]; c.Inserts != 1 || c.Deletes != 1 {
+		t.Fatalf("Company cell %+v", c)
+	}
+	// Zero and single inputs behave.
+	if w := MergeWorkloads(); w.Total != 0 || w.Classes != nil {
+		t.Fatalf("empty merge %+v", w)
+	}
+	one := MergeWorkloads(r1.Snapshot())
+	if one.Total != r1.Snapshot().Total {
+		t.Fatalf("single merge total %d", one.Total)
+	}
+}

@@ -143,6 +143,40 @@ func (r *Recorder) Snapshot() Workload {
 	return w
 }
 
+// MergeWorkloads sums several workload snapshots cell-wise into one —
+// the global roll-up over a sharded deployment's per-shard recorders.
+// Entries are matched by (level, class); classes keep the order of their
+// first appearance, which for recorders over the same path (the sharded
+// case) is path order in every input. The result is a plain aggregate:
+// feeding it to MergeObserved or LoadDrift prices the fleet-wide mix,
+// while the per-shard snapshots price each partition's own mix.
+func MergeWorkloads(ws ...Workload) Workload {
+	var out Workload
+	type cell struct {
+		level int
+		class string
+	}
+	pos := make(map[cell]int)
+	for _, w := range ws {
+		for _, c := range w.Classes {
+			key := cell{c.Level, c.Class}
+			i, ok := pos[key]
+			if !ok {
+				i = len(out.Classes)
+				pos[key] = i
+				out.Classes = append(out.Classes, ClassLoad{Level: c.Level, Class: c.Class})
+			}
+			o := &out.Classes[i]
+			o.Queries += c.Queries
+			o.Inserts += c.Inserts
+			o.Deletes += c.Deletes
+			o.Updates += c.Updates
+			out.Total += c.Ops()
+		}
+	}
+	return out
+}
+
 // MergeObserved writes the observed workload into ps's load triplets as
 // relative frequencies normalized to sum one — the Section 3.2 form the
 // cost model expects. Classes with no observed traffic get a zero triplet:
