@@ -14,6 +14,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 // Re-exported schema types: classes, attributes, paths (Definition 2.1).
@@ -128,6 +129,29 @@ type (
 	// ShardDriftView aggregates per-shard drift (worst shard and
 	// traffic-weighted mean) for a sharded database.
 	ShardDriftView = shard.DriftView
+	// DurableOptions tune a durable engine: WAL commit policy, group-commit
+	// window, automatic checkpoint threshold, buffer-pool capacity. The
+	// embedded EngineOptions keep their in-memory meaning.
+	DurableOptions = engine.DurableOptions
+	// ShardedDurableOptions tune a durable sharded database; the embedded
+	// DurableOptions apply to every shard's engine.
+	ShardedDurableOptions = shard.DurableOptions
+	// WALPolicy selects when the write-ahead log fsyncs: on every commit,
+	// on a group-commit window, or never.
+	WALPolicy = wal.Policy
+)
+
+// WAL commit policies for DurableOptions.Policy.
+const (
+	// SyncAlways fsyncs the WAL on every commit — full durability, one
+	// fsync per write operation.
+	SyncAlways = wal.SyncAlways
+	// SyncGroup fsyncs at most once per group window (default 2ms),
+	// amortizing the fsync over a burst of commits; a crash can lose the
+	// last window's acknowledged operations.
+	SyncGroup = wal.SyncGroup
+	// SyncNever leaves syncing to the OS page cache — fastest, weakest.
+	SyncNever = wal.SyncNever
 )
 
 // ErrCrossShard reports an insert or update whose references span
@@ -254,6 +278,28 @@ func OpenWithOptions(st *Store, p *Path, cfg Configuration, pageSize int, opts E
 // with shard.NewStores and open with shard.Open.
 func OpenSharded(p *Path, cfg Configuration, pageSize, nShards int, opts EngineOptions) (*ShardedDB, error) {
 	return shard.New(p.Schema(), p, cfg, pageSize, nShards, shard.Options{Engine: opts})
+}
+
+// OpenDurable opens (or creates) a disk-backed database in dir: a
+// lifecycle engine whose writes are write-ahead logged and fsynced per
+// the commit policy, whose pages live behind a checksummed file-backed
+// buffer pool, and which checkpoints (snapshot + manifest + WAL
+// truncation) automatically as the log grows. Reopening the directory
+// recovers — checkpoint, then WAL replay, then index rebuild — so
+// acknowledged operations survive crashes; the persisted configuration
+// wins over cfg on reopen. Call Close for a clean shutdown (empty WAL on
+// the next open).
+func OpenDurable(dir string, p *Path, cfg Configuration, pageSize int, opts DurableOptions) (*Database, error) {
+	return engine.OpenDurable(dir, p.Schema(), p, cfg, pageSize, opts)
+}
+
+// OpenShardedDurable opens (or creates) a disk-backed sharded database
+// in dir: nShards durable engines in per-shard subdirectories, each with
+// its own WAL, checkpoints and recovery, recovered in parallel on
+// reopen. The directory's shard count and page size are persisted and
+// must match on reopen — OID routing depends on them.
+func OpenShardedDurable(dir string, p *Path, cfg Configuration, pageSize, nShards int, opts ShardedDurableOptions) (*ShardedDB, error) {
+	return shard.OpenShardedDurable(dir, p.Schema(), p, cfg, pageSize, nShards, opts)
 }
 
 // OpenStatic builds the working indexes of a fixed configuration without

@@ -20,6 +20,9 @@
 //	ixbench -run shard        # sharded serving throughput at 1/2/4/8
 //	                          # shards x 1/2/4/8 workers (E4); emits
 //	                          # BENCH_shard.json
+//	ixbench -run durable      # durability cost: fsync policies, recovery
+//	                          # time vs WAL length, cold-cache serving
+//	                          # (E5); emits BENCH_wal.json
 package main
 
 import (
@@ -48,6 +51,7 @@ var modes = []struct{ name, desc string }{
 	{"serve", "serving throughput under concurrency; emits BENCH_serve.json (E2)"},
 	{"maintain", "update maintenance cost at mixed read/write ratios; emits BENCH_maintain.json (E3)"},
 	{"shard", "sharded serving throughput at 1/2/4/8 shards x 1/2/4/8 workers; emits BENCH_shard.json (E4)"},
+	{"durable", "durability cost: fsync policies, recovery time, cold-cache serving; emits BENCH_wal.json (E5)"},
 }
 
 func usage() {
@@ -77,16 +81,18 @@ func main() {
 	maintainOut := flag.String("maintain-out", "BENCH_maintain.json", "output file for the maintain experiment's JSON report")
 	shardOps := flag.Int("shard-ops", 4000, "operations per worker in the shard experiment")
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "output file for the shard experiment's JSON report")
+	durableOps := flag.Int("durable-ops", 3000, "base write-operation count in the durable experiment")
+	durableOut := flag.String("durable-out", "BENCH_wal.json", "output file for the durable experiment's JSON report")
 	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -205,6 +211,18 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 		}
 		fmt.Println(rep.Render())
 		if err := writeJSON(shardOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("durable") {
+		ran = true
+		section("E5 — durability cost (fsync policies, recovery, cold cache)")
+		rep, err := experiments.RunDurable(seed, durableOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if err := writeJSON(durableOut, rep); err != nil {
 			return err
 		}
 	}

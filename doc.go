@@ -32,7 +32,10 @@
 //     running database without blocking queries;
 //   - a sharded engine (OpenSharded) that partitions the OID space across
 //     N independent lifecycle engines, routes writes by OID hash, fans
-//     value queries out and merges, and re-selects per shard.
+//     value queries out and merges, and re-selects per shard;
+//   - durable deployments (OpenDurable, OpenShardedDurable): a disk-backed
+//     buffer pool, a write-ahead log with selectable fsync policy, and
+//     checkpoint-based crash recovery, gated by fault-injection tests.
 //
 // # Quick start
 //
@@ -164,6 +167,37 @@
 // deployment serving the identical logical dataset — and writes
 // BENCH_shard.json; DESIGN.md §7 records the architecture and the
 // measured shape.
+//
+// # Durability
+//
+// OpenDurable opens a disk-backed engine in a directory: every Insert,
+// Update and Delete appends a CRC-framed record to a write-ahead log and
+// commits per the configured policy — SyncAlways (fsync per operation:
+// acknowledged means durable), SyncGroup (fsyncs amortized over a
+// commit window) or SyncNever — before the operation returns, and store
+// pages live behind a checksummed file-backed buffer pool, so a pool
+// miss is a real, torn-write-detected disk read. Checkpoints (automatic
+// past a WAL-size threshold, plus every configuration swap and Close)
+// snapshot the object population and the active configuration via
+// atomic renames and truncate the log. Reopening the directory recovers
+// — snapshot, then WAL replay (a torn or corrupt tail is truncated,
+// never replayed), then index rebuild — so the recovered database holds
+// exactly the acknowledged operations, the active configuration
+// survives restarts, and the OID sequence continues where it stopped. A
+// failed append, fsync or write-back fails the operation that needed
+// it and condemns the engine (DurabilityErr); reads keep serving the
+// in-memory state. The contract is enforced by a differential crash
+// gate: hundreds of randomized kill points (including mid-checkpoint
+// and mid-reconfiguration) driven through a fault-injecting file layer,
+// each recovered and compared — count, OID sequence, content
+// fingerprint, index answers — against a reference store replaying the
+// acknowledged prefix. OpenShardedDurable gives every shard its own
+// WAL and checkpoints under one directory and recovers shards in
+// parallel; per-shard configuration divergence persists. Experiment E5
+// (ixbench -run durable) measures fsync-policy throughput, recovery
+// time vs WAL length and cold-cache serving, and writes BENCH_wal.json;
+// DESIGN.md §8 records the protocol and the crash matrix. See
+// examples/durable for a kill-and-recover walkthrough.
 //
 // See README.md for the repository map, the examples/ directory for
 // end-to-end programs, and DESIGN.md for the system inventory and the

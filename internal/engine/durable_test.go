@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func openTestDurable(t *testing.T, dir string, opts DurableOptions) *Engine {
+	t.Helper()
+	ps := model.Figure7Stats()
+	e, err := OpenDurable(dir, ps.Path.Schema(), ps.Path, cfgSplit, 1024, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestDurableReopenCounts is the reopen-and-count contract after a clean
+// shutdown: object count, OID sequence, logical fingerprint and index
+// probe results all survive, and the close-time checkpoint leaves nothing
+// to replay.
+func TestDurableReopenCounts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{})
+	d := newDriver(e.Path(), 1)
+	for i := 0; i < 200; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	wantLen := e.Store().Len()
+	wantFP := e.Store().Fingerprint()
+	wantNext, wantStride := e.Store().OIDSeq()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openTestDurable(t, dir, DurableOptions{})
+	defer e2.Close()
+	if got := e2.Replayed(); got != 0 {
+		t.Fatalf("clean close left %d WAL records to replay", got)
+	}
+	if got := e2.Store().Len(); got != wantLen {
+		t.Fatalf("reopened with %d objects, want %d", got, wantLen)
+	}
+	if next, stride := e2.Store().OIDSeq(); next != wantNext || stride != wantStride {
+		t.Fatalf("reopened OID sequence (%d,%d), want (%d,%d)", next, stride, wantNext, wantStride)
+	}
+	if got := e2.Store().Fingerprint(); got != wantFP {
+		t.Fatalf("reopened fingerprint %x, want %x", got, wantFP)
+	}
+	assertIndexesConsistent(t, 0, e2, d.vals[:5])
+
+	// The OID sequence must actually continue, not restart: a fresh insert
+	// mints past everything recovered.
+	oid, err := e2.Insert(e2.Path().HierarchyAt(e2.Path().Len())[0],
+		map[string][]oodb.Value{e2.Path().Attr(e2.Path().Len()): {d.vals[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid != wantNext {
+		t.Fatalf("post-recovery insert minted OID %d, want %d", oid, wantNext)
+	}
+}
+
+// TestDurableReopenWithoutClose is the same contract when the process
+// simply vanishes (no Close, no checkpoint): the WAL alone carries the
+// state back.
+func TestDurableReopenWithoutClose(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{CheckpointBytes: -1})
+	d := newDriver(e.Path(), 2)
+	for i := 0; i < 150; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	wantFP := e.Store().Fingerprint()
+	// No Close: abandon the engine, as a kill would.
+
+	e2 := openTestDurable(t, dir, DurableOptions{})
+	defer e2.Close()
+	if got, want := int(e2.Replayed()), len(d.acked); got != want {
+		t.Fatalf("replayed %d WAL records, want %d", got, want)
+	}
+	if got := e2.Store().Fingerprint(); got != wantFP {
+		t.Fatalf("recovered fingerprint %x, want %x", got, wantFP)
+	}
+}
+
+// TestDurableConfigSurvivesReopen pins that ApplyConfiguration's
+// checkpoint persists the new configuration: the reopened engine runs the
+// swapped-to configuration even though the caller passed the original.
+func TestDurableConfigSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{})
+	d := newDriver(e.Path(), 3)
+	for i := 0; i < 60; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.ApplyConfiguration(cfgWhole); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openTestDurable(t, dir, DurableOptions{}) // passes cfgSplit
+	defer e2.Close()
+	if !e2.Config().Equal(cfgWhole) {
+		t.Fatalf("reopened with config %v, want the applied %v", e2.Config(), cfgWhole)
+	}
+}
+
+// TestDurableCheckpointTruncatesWAL drives enough traffic through a small
+// checkpoint threshold that automatic checkpoints fire and keep the log
+// bounded.
+func TestDurableCheckpointTruncatesWAL(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{CheckpointBytes: 1024})
+	defer e.Close()
+	d := newDriver(e.Path(), 4)
+	for i := 0; i < 300; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Checkpoints() == 0 {
+		t.Fatal("no automatic checkpoint fired")
+	}
+	if sz := e.WALSize(); sz > 4096 {
+		t.Fatalf("WAL grew to %d bytes despite a 1 KiB checkpoint threshold", sz)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "snap.ckpt")); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint snapshot missing or empty (err=%v)", err)
+	}
+}
+
+// TestDurableGeometryMismatchRejected: reopening with a different page
+// size or OID sequence is refused rather than silently misread.
+func TestDurableGeometryMismatchRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{})
+	d := newDriver(e.Path(), 5)
+	for i := 0; i < 10; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ps := model.Figure7Stats()
+	if _, err := OpenDurable(dir, ps.Path.Schema(), ps.Path, cfgSplit, 2048, DurableOptions{}); err == nil {
+		t.Fatal("page-size mismatch not rejected")
+	}
+	if _, err := OpenDurable(dir, ps.Path.Schema(), ps.Path, cfgSplit, 1024, DurableOptions{FirstOID: 2, OIDStride: 4}); err == nil {
+		t.Fatal("OID-sequence mismatch not rejected")
+	}
+}
+
+// TestDurableIOErrorPosture is the I/O-error regression gate: a failed
+// WAL fsync fails the operation that needed it, the engine latches the
+// error and refuses subsequent writes with it, and reads keep serving the
+// in-memory state.
+func TestDurableIOErrorPosture(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	var walFault *storage.FaultFile
+	opts := DurableOptions{
+		Policy: wal.SyncAlways,
+		OpenFile: func(path string) (storage.File, error) {
+			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			if filepath.Base(path) == "wal.log" {
+				walFault = storage.NewFaultFile(f)
+				return walFault, nil
+			}
+			return storage.NewFaultFile(f), nil
+		},
+	}
+	e := openTestDurable(t, dir, opts)
+	d := newDriver(e.Path(), 6)
+	for i := 0; i < 20; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Arm: the next WAL fsync fails.
+	walFault.FailSync = walFault.Syncs() + 1
+	leaf := e.Path().HierarchyAt(e.Path().Len())[0]
+	attr := e.Path().Attr(e.Path().Len())
+	if _, err := e.Insert(leaf, map[string][]oodb.Value{attr: {d.vals[0]}}); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("insert over failed fsync returned %v, want ErrInjected", err)
+	}
+	if err := e.DurabilityErr(); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("DurabilityErr = %v, want latched ErrInjected", err)
+	}
+	// The engine is condemned: later writes refuse with the same error,
+	// even though the fault itself was single-shot.
+	if _, err := e.Insert(leaf, map[string][]oodb.Value{attr: {d.vals[1]}}); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("write after latched error returned %v, want ErrInjected", err)
+	}
+	// Reads still serve the coherent in-memory state.
+	if _, err := e.Query(d.vals[0], e.Path().HierarchyAt(1)[0], true); err != nil {
+		t.Fatalf("read after latched error: %v", err)
+	}
+}
+
+// TestDurableWorkloadSnapshotCarriesDurabilityCost: the workload snapshot
+// exposes fsyncs and WAL bytes so operators see the durability cost of
+// the traffic mix (zero on an in-memory engine).
+func TestDurableWorkloadSnapshotCarriesDurabilityCost(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	defer e.Close()
+	d := newDriver(e.Path(), 7)
+	for i := 0; i < 50; i++ {
+		if err := d.step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := e.WorkloadSnapshot()
+	if w.Fsyncs == 0 || w.WALBytes == 0 {
+		t.Fatalf("durable workload snapshot reports fsyncs=%d walBytes=%d, want both positive", w.Fsyncs, w.WALBytes)
+	}
+	ds := e.DurabilityStats()
+	if w.Fsyncs != ds.Fsyncs || w.WALBytes != ds.WALBytes {
+		t.Fatalf("snapshot (%d,%d) disagrees with DurabilityStats (%d,%d)", w.Fsyncs, w.WALBytes, ds.Fsyncs, ds.WALBytes)
+	}
+}

@@ -155,6 +155,10 @@ type Engine struct {
 	swaps      atomic.Uint64
 	failStreak atomic.Uint64            // consecutive failed auto-tunes, for backoff
 	lastTune   atomic.Pointer[AutoTune] // most recent auto-tune outcome
+
+	// dur is the durability state (WAL, checkpointing) of an engine opened
+	// with OpenDurable; nil for an in-memory engine. Guarded by writeMu.
+	dur *durable
 }
 
 // AutoTune records one background reconfiguration attempt: the report of
@@ -253,10 +257,17 @@ func (e *Engine) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy boo
 }
 
 // Insert stores a new object and maintains the active configuration's
-// owning subpath index.
+// owning subpath index. On a durable engine the insert is logged and
+// committed before it is acknowledged: a nil error means the operation
+// will survive a crash (per the WAL commit policy).
 func (e *Engine) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error) {
 	e.writeMu.Lock()
 	oid, err := e.active.Load().InsertInto(e.store, class, attrs)
+	if err == nil && e.dur != nil {
+		if err = e.logOp(opInsert, oid); err == nil {
+			err = e.commitLocked()
+		}
+	}
 	e.writeMu.Unlock()
 	e.maybeAutoTune()
 	return oid, err
@@ -271,6 +282,11 @@ func (e *Engine) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, 
 func (e *Engine) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
 	e.writeMu.Lock()
 	err := e.active.Load().UpdateIn(e.store, oid, attrs)
+	if err == nil && e.dur != nil {
+		if err = e.logOp(opUpdate, oid); err == nil {
+			err = e.commitLocked()
+		}
+	}
 	e.writeMu.Unlock()
 	e.maybeAutoTune()
 	return err
@@ -282,10 +298,35 @@ func (e *Engine) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
 // ordering and safety contract). The batch serializes with configuration
 // swaps as a whole — one writeMu hold, not one per update — so it also
 // acts as a group commit. The result has one entry per update, nil on
-// success; a failed update does not stop the rest of the batch.
+// success; a failed update does not stop the rest of the batch. On a
+// durable engine the batch's successful updates are logged record by
+// record and committed once — one fsync decision for the whole batch.
 func (e *Engine) UpdateBatch(ups []exec.Update) []error {
 	e.writeMu.Lock()
 	errs := e.active.Load().UpdateBatch(e.store, ups)
+	if e.dur != nil {
+		var derr error
+		for i := range ups {
+			if errs[i] != nil {
+				continue
+			}
+			if derr == nil {
+				derr = e.logOp(opUpdate, ups[i].OID)
+			}
+			if derr != nil {
+				errs[i] = derr
+			}
+		}
+		if derr == nil {
+			if derr = e.commitLocked(); derr != nil {
+				for i := range errs {
+					if errs[i] == nil {
+						errs[i] = derr
+					}
+				}
+			}
+		}
+	}
 	e.writeMu.Unlock()
 	e.maybeAutoTuneN(uint64(len(ups)))
 	return errs
@@ -297,6 +338,11 @@ func (e *Engine) UpdateBatch(ups []exec.Update) []error {
 func (e *Engine) Delete(oid oodb.OID) error {
 	e.writeMu.Lock()
 	err := e.active.Load().DeleteFrom(e.store, oid)
+	if err == nil && e.dur != nil {
+		if err = e.logOp(opDelete, oid); err == nil {
+			err = e.commitLocked()
+		}
+	}
 	e.writeMu.Unlock()
 	e.maybeAutoTune()
 	return err
@@ -325,8 +371,17 @@ func (e *Engine) ResetStats() { e.active.Load().ResetStats() }
 func (e *Engine) Swaps() uint64 { return e.swaps.Load() }
 
 // WorkloadSnapshot returns the recorded traffic since the last
-// reconfiguration (or reset).
-func (e *Engine) WorkloadSnapshot() stats.Workload { return e.rec.Snapshot() }
+// reconfiguration (or reset). On a durable engine the snapshot also
+// carries the cumulative durability cost (WAL bytes, fsyncs) of serving
+// that traffic.
+func (e *Engine) WorkloadSnapshot() stats.Workload {
+	w := e.rec.Snapshot()
+	if e.dur != nil {
+		ds := e.DurabilityStats()
+		w.Fsyncs, w.WALBytes = ds.Fsyncs, ds.WALBytes
+	}
+	return w
+}
 
 // Drift returns the total-variation distance between the load
 // distribution the active configuration was selected for and the
@@ -461,6 +516,15 @@ func (e *Engine) apply(cfg core.Configuration, used *model.PathStats, drift floa
 	rep.Built = len(cfg.Assignments) - next.Reused()
 	e.adoptBaseline(used)
 	e.swaps.Add(1)
+	// A durable engine persists the new configuration by checkpointing:
+	// the manifest flips to cfg only after the snapshot it describes is in
+	// place, so a crash mid-swap (or mid-rebuild above) recovers the old
+	// configuration over fully correct data.
+	if e.dur != nil {
+		if err := e.checkpointLocked(); err != nil {
+			return rep, fmt.Errorf("engine: persisting configuration: %w", err)
+		}
+	}
 	return rep, nil
 }
 

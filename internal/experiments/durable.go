@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/wal"
+)
+
+// Experiment E5 — durability cost. The paper's cost model prices index
+// maintenance in page accesses; a durable deployment pays two further
+// costs the in-memory experiments cannot show: the fsync traffic of the
+// write-ahead log (per commit policy) and the recovery work of replaying
+// it. E5 measures three curves on the disk-backed engine:
+//
+//  1. fsync-policy throughput — the same write workload under
+//     SyncAlways (one fsync per operation), SyncGroup (fsyncs amortized
+//     over a commit window) and SyncNever (OS page cache only): the
+//     classic durability/throughput trade, quantified for this engine.
+//  2. recovery time vs WAL length — checkpointing disabled, the process
+//     abandoned after w operations, the reopen timed: replay cost grows
+//     with the log, which is exactly what checkpoints bound.
+//  3. cold-cache serving on disk — after a reopen with a small buffer
+//     pool, the first sweep over the value domain pays checksummed disk
+//     reads for every pool miss; the second sweep runs warm. Measured
+//     for the indexed engine and the naive navigator: the index's
+//     page-access advantage persists (and grows) when misses cost real
+//     I/O, which is the cost model's original premise.
+type DurableReport struct {
+	Seed     int64                  `json:"seed"`
+	Ops      int                    `json:"ops"`
+	Policies []DurablePolicyPoint   `json:"policies"`
+	Recovery []DurableRecoveryPoint `json:"recovery"`
+	Cold     []DurableColdPoint     `json:"cold_cache"`
+}
+
+// DurablePolicyPoint is one fsync-policy cell: the write workload's
+// throughput and durability traffic under one WAL commit policy.
+type DurablePolicyPoint struct {
+	Policy    string  `json:"policy"`
+	Ops       int     `json:"ops"`
+	Elapsed   float64 `json:"elapsed_sec"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Fsyncs    uint64  `json:"fsyncs"`
+	WALBytes  uint64  `json:"wal_bytes"`
+}
+
+// DurableRecoveryPoint is one recovery-time cell: reopen cost after
+// abandoning a process (no close, no checkpoint) at a given WAL length.
+type DurableRecoveryPoint struct {
+	Ops            int     `json:"ops"`
+	WALBytes       int64   `json:"wal_bytes"`
+	Replayed       uint64  `json:"replayed"`
+	RecoveryMillis float64 `json:"recovery_ms"`
+}
+
+// DurableColdPoint is one cold-cache cell: a sweep of point queries over
+// the whole value domain, indexed or naive, on a cold or warm buffer
+// pool.
+type DurableColdPoint struct {
+	Backend        string  `json:"backend"` // "optimal" or "naive"
+	Phase          string  `json:"phase"`   // "cold" or "warm"
+	Queries        int     `json:"queries"`
+	MicrosPerQuery float64 `json:"us_per_query"`
+	// DiskReads counts store pages fetched from the page file (pool
+	// misses, each a checksummed ReadAt); PoolHits served from memory.
+	DiskReads uint64 `json:"disk_reads"`
+	PoolHits  uint64 `json:"pool_hits"`
+}
+
+// durableDriver issues a mixed write workload (inserts of
+// Company/Vehicle/Person tree nodes, renames, re-links, deletes) against
+// a durable engine, tracking the live population for valid references.
+type durableDriver struct {
+	rng       *rand.Rand
+	vals      []oodb.Value
+	companies []oodb.OID
+	cars      []oodb.OID
+	persons   []oodb.OID
+}
+
+func newDurableDriver(seed int64) *durableDriver {
+	d := &durableDriver{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < 64; i++ {
+		d.vals = append(d.vals, oodb.StrV(fmt.Sprintf("dur-val-%02d", i)))
+	}
+	return d
+}
+
+func (d *durableDriver) val() oodb.Value { return d.vals[d.rng.Intn(len(d.vals))] }
+
+func (d *durableDriver) step(e *engine.Engine) error {
+	r := d.rng.Intn(100)
+	switch {
+	case r < 25 || len(d.companies) == 0:
+		oid, err := e.Insert("Company", map[string][]oodb.Value{"name": {d.val()}})
+		if err != nil {
+			return err
+		}
+		d.companies = append(d.companies, oid)
+	case r < 45:
+		ref := d.companies[d.rng.Intn(len(d.companies))]
+		oid, err := e.Insert("Vehicle", map[string][]oodb.Value{"man": {oodb.RefV(ref)}})
+		if err != nil {
+			return err
+		}
+		d.cars = append(d.cars, oid)
+	case r < 65 && len(d.cars) > 0:
+		ref := d.cars[d.rng.Intn(len(d.cars))]
+		oid, err := e.Insert("Person", map[string][]oodb.Value{"owns": {oodb.RefV(ref)}})
+		if err != nil {
+			return err
+		}
+		d.persons = append(d.persons, oid)
+	case r < 85:
+		oid := d.companies[d.rng.Intn(len(d.companies))]
+		return e.Update(oid, map[string][]oodb.Value{"name": {d.val()}})
+	default:
+		if len(d.persons) == 0 {
+			oid := d.companies[d.rng.Intn(len(d.companies))]
+			return e.Update(oid, map[string][]oodb.Value{"name": {d.val()}})
+		}
+		i := d.rng.Intn(len(d.persons))
+		oid := d.persons[i]
+		d.persons[i] = d.persons[len(d.persons)-1]
+		d.persons = d.persons[:len(d.persons)-1]
+		return e.Delete(oid)
+	}
+	return nil
+}
+
+// durableCfg is E5's fixed configuration: one whole-path NIX.
+func durableCfg(p *schema.Path) core.Configuration {
+	return core.Configuration{Assignments: []core.Assignment{{A: 1, B: p.Len(), Org: cost.NIX}}}
+}
+
+// RunDurable measures the three E5 curves with `ops` write operations as
+// the base workload size. Directories live under the system temp dir and
+// are removed afterwards.
+func RunDurable(seed int64, ops int) (DurableReport, error) {
+	rep := DurableReport{Seed: seed, Ops: ops}
+	p := schema.PaperPathOwnsManName()
+	s := p.Schema()
+	cfg := durableCfg(p)
+	const pageSize = 1024
+
+	root, err := os.MkdirTemp("", "ixbench-durable-")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(root)
+
+	// Curve 1: fsync-policy throughput.
+	for _, pol := range []wal.Policy{wal.SyncAlways, wal.SyncGroup, wal.SyncNever} {
+		dir := filepath.Join(root, "policy-"+pol.String())
+		e, err := engine.OpenDurable(dir, s, p, cfg, pageSize, engine.DurableOptions{Policy: pol})
+		if err != nil {
+			return rep, err
+		}
+		d := newDurableDriver(seed)
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := d.step(e); err != nil {
+				e.Close()
+				return rep, fmt.Errorf("experiments: policy %s op %d: %w", pol, i, err)
+			}
+		}
+		elapsed := time.Since(start)
+		ds := e.DurabilityStats() // before Close: its checkpoint fsyncs are shutdown, not workload
+		if err := e.Close(); err != nil {
+			return rep, err
+		}
+		rep.Policies = append(rep.Policies, DurablePolicyPoint{
+			Policy:    pol.String(),
+			Ops:       ops,
+			Elapsed:   elapsed.Seconds(),
+			OpsPerSec: float64(ops) / elapsed.Seconds(),
+			Fsyncs:    ds.Fsyncs,
+			WALBytes:  ds.WALBytes,
+		})
+	}
+
+	// Curve 2: recovery time vs WAL length. Checkpoints disabled; the
+	// engine is abandoned (its file handles leak until process exit, as a
+	// kill's would) so the whole state rides the WAL into the reopen.
+	for _, w := range []int{ops / 4, ops, 4 * ops} {
+		if w < 1 {
+			w = 1
+		}
+		dir := filepath.Join(root, fmt.Sprintf("recovery-%d", w))
+		e, err := engine.OpenDurable(dir, s, p, cfg, pageSize,
+			engine.DurableOptions{Policy: wal.SyncNever, CheckpointBytes: -1})
+		if err != nil {
+			return rep, err
+		}
+		d := newDurableDriver(seed)
+		for i := 0; i < w; i++ {
+			if err := d.step(e); err != nil {
+				return rep, fmt.Errorf("experiments: recovery fill op %d: %w", i, err)
+			}
+		}
+		walBytes := e.WALSize()
+		// No Close: abandon, as a crash would.
+		start := time.Now()
+		e2, err := engine.OpenDurable(dir, s, p, cfg, pageSize, engine.DurableOptions{})
+		if err != nil {
+			return rep, err
+		}
+		recovery := time.Since(start)
+		rep.Recovery = append(rep.Recovery, DurableRecoveryPoint{
+			Ops:            w,
+			WALBytes:       walBytes,
+			Replayed:       e2.Replayed(),
+			RecoveryMillis: float64(recovery.Microseconds()) / 1000,
+		})
+		if err := e2.Close(); err != nil {
+			return rep, err
+		}
+	}
+
+	// Curve 3: cold-cache serving. Populate, close, then reopen twice with
+	// a pool far smaller than the population — once for the indexed
+	// engine, once for the naive navigator — sweeping the value domain on
+	// the cold pool and again on the warm one. Small pages and a 4-page
+	// pool make the population exceed the pool at any workload size, so
+	// the sweeps genuinely miss to disk.
+	const coldPageSize, coldPool = 256, 4
+	dir := filepath.Join(root, "cold")
+	e, err := engine.OpenDurable(dir, s, p, cfg, coldPageSize, engine.DurableOptions{Policy: wal.SyncNever})
+	if err != nil {
+		return rep, err
+	}
+	d := newDurableDriver(seed)
+	for i := 0; i < ops; i++ {
+		if err := d.step(e); err != nil {
+			return rep, fmt.Errorf("experiments: cold fill op %d: %w", i, err)
+		}
+	}
+	vals := d.vals
+	if err := e.Close(); err != nil {
+		return rep, err
+	}
+	coldOpts := engine.DurableOptions{Policy: wal.SyncNever, PoolPages: coldPool}
+	for _, backend := range []string{"optimal", "naive"} {
+		e, err := engine.OpenDurable(dir, s, p, cfg, coldPageSize, coldOpts)
+		if err != nil {
+			return rep, err
+		}
+		query := func(v oodb.Value) error {
+			var qerr error
+			if backend == "optimal" {
+				_, qerr = e.Query(v, "Person", true)
+			} else {
+				_, qerr = exec.NaiveQuery(e.Store(), p, v, "Person", true)
+			}
+			return qerr
+		}
+		for _, phase := range []string{"cold", "warm"} {
+			before := e.Store().Pager().Stats()
+			start := time.Now()
+			for _, v := range vals {
+				if err := query(v); err != nil {
+					e.Close()
+					return rep, fmt.Errorf("experiments: %s %s sweep: %w", backend, phase, err)
+				}
+			}
+			elapsed := time.Since(start)
+			after := e.Store().Pager().Stats()
+			rep.Cold = append(rep.Cold, DurableColdPoint{
+				Backend:        backend,
+				Phase:          phase,
+				Queries:        len(vals),
+				MicrosPerQuery: float64(elapsed.Microseconds()) / float64(len(vals)),
+				DiskReads:      after.Reads - before.Reads,
+				PoolHits:       after.Hits - before.Hits,
+			})
+		}
+		if err := e.Close(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// Render returns the report as text.
+func (r DurableReport) Render() string {
+	t := NewTable(fmt.Sprintf("E5a — fsync-policy throughput (%d write ops)", r.Ops),
+		"policy", "ops/sec", "fsyncs", "wal bytes")
+	for _, p := range r.Policies {
+		t.AddRow(p.Policy, fmt.Sprintf("%.0f", p.OpsPerSec), p.Fsyncs, p.WALBytes)
+	}
+	out := t.Render()
+
+	t = NewTable("E5b — recovery time vs WAL length (no checkpoint, abandoned process)",
+		"ops", "wal bytes", "replayed", "recovery ms")
+	for _, p := range r.Recovery {
+		t.AddRow(p.Ops, p.WALBytes, p.Replayed, fmt.Sprintf("%.2f", p.RecoveryMillis))
+	}
+	out += "\n" + t.Render()
+
+	t = NewTable("E5c — cold-cache serving on disk (256 B pages, 4-page pool)",
+		"backend", "phase", "queries", "µs/query", "disk reads", "pool hits")
+	for _, p := range r.Cold {
+		t.AddRow(p.Backend, p.Phase, p.Queries, fmt.Sprintf("%.1f", p.MicrosPerQuery), p.DiskReads, p.PoolHits)
+	}
+	return out + "\n" + t.Render()
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+// TestRunDurable smoke-runs E5 at a small scale and checks the physics
+// every cell must obey: SyncAlways pays at least one fsync per write
+// operation, SyncNever pays none; recovery replays exactly the abandoned
+// operations' records; the naive cold sweep reads from disk and the warm
+// sweep thrashes rather than caching; and the indexed backend never reads
+// more pages than the naive navigator.
+func TestRunDurable(t *testing.T) {
+	ops := 400
+	if testing.Short() {
+		ops = 120
+	}
+	rep, err := RunDurable(7, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) != 3 || len(rep.Recovery) != 3 || len(rep.Cold) != 4 {
+		t.Fatalf("report shape: %d policies, %d recovery, %d cold cells",
+			len(rep.Policies), len(rep.Recovery), len(rep.Cold))
+	}
+	byPolicy := map[string]DurablePolicyPoint{}
+	for _, p := range rep.Policies {
+		byPolicy[p.Policy] = p
+		if p.WALBytes == 0 {
+			t.Fatalf("policy %s appended no WAL bytes", p.Policy)
+		}
+	}
+	if got := byPolicy["always"].Fsyncs; got < uint64(ops) {
+		t.Fatalf("SyncAlways: %d fsyncs for %d ops, want at least one per op", got, ops)
+	}
+	if got := byPolicy["never"].Fsyncs; got != 0 {
+		t.Fatalf("SyncNever: %d fsyncs, want 0", got)
+	}
+	for _, p := range rep.Recovery {
+		if p.Replayed != uint64(p.Ops) {
+			t.Fatalf("recovery at %d ops replayed %d records", p.Ops, p.Replayed)
+		}
+	}
+	cold := map[string]DurableColdPoint{}
+	for _, c := range rep.Cold {
+		cold[c.Backend+"/"+c.Phase] = c
+	}
+	if cold["naive/cold"].DiskReads == 0 {
+		t.Fatal("naive cold sweep read nothing from disk")
+	}
+	// With a pool far smaller than the population an LRU thrashes under
+	// sequential scans: the pool ends each sweep holding the scan's tail,
+	// the wrong content for the next sweep's head, so warm gets no real
+	// caching benefit and can even re-read slightly more than cold
+	// depending on eviction order (the in-query fan-out makes the exact
+	// order nondeterministic). Assert warm ≈ cold within 10% either way —
+	// a warm sweep meaningfully cheaper or dearer than cold would mean
+	// the pool geometry no longer forces the thrash this curve is about.
+	if w, c := cold["naive/warm"].DiskReads, cold["naive/cold"].DiskReads; w > c+c/10 || w < c-c/10 {
+		t.Fatalf("naive warm sweep read %d pages, cold read %d — expected thrash (warm ≈ cold)", w, c)
+	}
+	if o, n := cold["optimal/cold"].DiskReads, cold["naive/cold"].DiskReads; o > n {
+		t.Fatalf("indexed cold sweep read %d store pages, naive read %d", o, n)
+	}
+}

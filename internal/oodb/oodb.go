@@ -218,18 +218,29 @@ func NewStore(s *schema.Schema, pageSize int) (*Store, error) {
 // lifetime, with no directory to maintain. first must be at least 1
 // (zero is never a valid OID) and stride at least 1.
 func NewStoreSeq(s *schema.Schema, pageSize int, first OID, stride uint64) (*Store, error) {
+	pager, err := storage.NewPager(pageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewStoreWithPager(s, pager, first, stride)
+}
+
+// NewStoreWithPager is NewStoreSeq over a caller-supplied pager — the
+// durable engine passes a disk-backed pager (storage.NewPagerBacked) so
+// buffer-pool misses and dirty write-backs hit a real page file, while
+// everything else about the store is unchanged.
+func NewStoreWithPager(s *schema.Schema, pager *storage.Pager, first OID, stride uint64) (*Store, error) {
 	if s == nil {
 		return nil, fmt.Errorf("oodb: nil schema")
+	}
+	if pager == nil {
+		return nil, fmt.Errorf("oodb: nil pager")
 	}
 	if first < 1 {
 		return nil, fmt.Errorf("oodb: first OID must be at least 1, got %d", first)
 	}
 	if stride < 1 {
 		return nil, fmt.Errorf("oodb: OID stride must be at least 1, got %d", stride)
-	}
-	pager, err := storage.NewPager(pageSize, 0)
-	if err != nil {
-		return nil, err
 	}
 	hier := make(map[string][]string)
 	for _, cn := range s.Classes() {
@@ -350,14 +361,20 @@ func (st *Store) Insert(class string, attrs map[string][]Value) (OID, error) {
 	for k, vs := range attrs {
 		obj.Attrs[k] = append([]Value(nil), vs...)
 	}
-	slot := st.placeObject(obj)
+	slot, err := st.placeObject(obj)
+	if err != nil {
+		return 0, err
+	}
 	st.objects[obj.OID] = objEntry{obj: obj, slot: slot}
 	return obj.OID, nil
 }
 
 // placeObject puts the object on the last page of its class, allocating a
-// new page when it does not fit, and counts the page write.
-func (st *Store) placeObject(obj *Object) *pageSlot {
+// new page when it does not fit, and counts the page write. The write can
+// only fail on a disk-backed pager whose backend has failed; the pager
+// latches that error (see Store.Err), so the catalog update still standing
+// is harmless — the store is condemned either way.
+func (st *Store) placeObject(obj *Object) (*pageSlot, error) {
 	pages := st.classPages[obj.Class]
 	need := obj.size()
 	var slot *pageSlot
@@ -374,9 +391,9 @@ func (st *Store) placeObject(obj *Object) *pageSlot {
 	slot.used += need
 	slot.oids[obj.OID] = true
 	if err := st.pager.Write(slot.page); err != nil {
-		panic("oodb: lost page: " + err.Error())
+		return nil, fmt.Errorf("oodb: placing object %d: %w", obj.OID, err)
 	}
-	return slot
+	return slot, nil
 }
 
 // Get fetches an object, counting one page read. A missing OID reports
@@ -389,7 +406,7 @@ func (st *Store) Get(oid OID) (*Object, error) {
 		return nil, fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
 	}
 	if _, err := st.pager.Read(e.slot.page.ID); err != nil {
-		panic("oodb: lost page: " + err.Error())
+		return nil, fmt.Errorf("oodb: reading object %d: %w", oid, err)
 	}
 	return e.obj, nil
 }
@@ -446,37 +463,46 @@ func (st *Store) Update(oid OID, attrs map[string][]Value) (old, updated *Object
 	}
 	slot := e.slot
 	if _, err := st.pager.Read(slot.page.ID); err != nil {
-		panic("oodb: lost page: " + err.Error())
+		return nil, nil, fmt.Errorf("oodb: updating object %d: %w", oid, err)
 	}
 	if delta := upd.size() - old.size(); slot.used+delta <= st.pager.PageSize() {
 		slot.used += delta
 		st.objects[oid] = objEntry{obj: upd, slot: slot}
 		if err := st.pager.Write(slot.page); err != nil {
-			panic("oodb: lost page: " + err.Error())
+			return nil, nil, fmt.Errorf("oodb: updating object %d: %w", oid, err)
 		}
 		return old, upd, nil
 	}
 	// The grown object no longer fits its page: drop it there and
 	// re-place it on the tail page of its class.
-	delete(slot.oids, oid)
-	slot.used -= old.size()
+	if err := st.dropFromSlotLocked(old, slot); err != nil {
+		return nil, nil, fmt.Errorf("oodb: updating object %d: %w", oid, err)
+	}
+	ns, err := st.placeObject(upd)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.objects[oid] = objEntry{obj: upd, slot: ns}
+	return old, upd, nil
+}
+
+// dropFromSlotLocked removes an object's footprint from its page slot,
+// writing the shrunken page or freeing it when it empties. Callers hold
+// st.mu and handle the st.objects entry themselves.
+func (st *Store) dropFromSlotLocked(obj *Object, slot *pageSlot) error {
+	delete(slot.oids, obj.OID)
+	slot.used -= obj.size()
 	if len(slot.oids) == 0 {
-		pages := st.classPages[old.Class]
+		pages := st.classPages[obj.Class]
 		for i, s := range pages {
 			if s == slot {
-				st.classPages[old.Class] = append(pages[:i], pages[i+1:]...)
+				st.classPages[obj.Class] = append(pages[:i], pages[i+1:]...)
 				break
 			}
 		}
-		if err := st.pager.Free(slot.page.ID); err != nil {
-			panic("oodb: double free: " + err.Error())
-		}
-	} else if err := st.pager.Write(slot.page); err != nil {
-		panic("oodb: lost page: " + err.Error())
+		return st.pager.Free(slot.page.ID)
 	}
-	ns := st.placeObject(upd)
-	st.objects[oid] = objEntry{obj: upd, slot: ns}
-	return old, upd, nil
+	return st.pager.Write(slot.page)
 }
 
 // Delete removes an object, counting a page write (and freeing the page if
@@ -490,25 +516,9 @@ func (st *Store) Delete(oid OID) error {
 	if !ok {
 		return fmt.Errorf("oodb: no object %d: %w", oid, ErrNotFound)
 	}
-	obj, slot := e.obj, e.slot
-	delete(slot.oids, oid)
-	slot.used -= obj.size()
 	delete(st.objects, oid)
-	if len(slot.oids) == 0 {
-		pages := st.classPages[obj.Class]
-		for i, s := range pages {
-			if s == slot {
-				st.classPages[obj.Class] = append(pages[:i], pages[i+1:]...)
-				break
-			}
-		}
-		if err := st.pager.Free(slot.page.ID); err != nil {
-			panic("oodb: double free: " + err.Error())
-		}
-		return nil
-	}
-	if err := st.pager.Write(slot.page); err != nil {
-		panic("oodb: lost page: " + err.Error())
+	if err := st.dropFromSlotLocked(e.obj, e.slot); err != nil {
+		return fmt.Errorf("oodb: deleting object %d: %w", oid, err)
 	}
 	return nil
 }
@@ -523,9 +533,10 @@ func (st *Store) ScanClass(class string, fn func(*Object) bool) {
 	st.mu.RLock()
 	var objs []*Object
 	for _, slot := range st.classPages[class] {
-		if _, err := st.pager.Read(slot.page.ID); err != nil {
-			panic("oodb: lost page: " + err.Error())
-		}
+		// A read can only fail on a disk-backed pager with a dead backend;
+		// the pager latches that error (Store.Err) and the in-memory image
+		// stays valid, so the scan proceeds on it.
+		st.pager.Read(slot.page.ID) //nolint:errcheck
 		for oid := range slot.oids {
 			objs = append(objs, st.objects[oid].obj)
 		}

@@ -1,0 +1,193 @@
+package shard_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/shard"
+)
+
+func openTestDurableDB(t *testing.T, dir string, nShards int) *shard.DB {
+	t.Helper()
+	s := schema.PaperSchema()
+	p := schema.PaperPathOwnsManName()
+	db, err := shard.OpenShardedDurable(dir, s, p, wholeNIX(p.Len()), 1024, nShards, shard.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestShardedDurableReopenCounts is the sharded reopen-and-count
+// contract: after populating, updating and deleting across shards and
+// closing cleanly, a reopen recovers every shard — object counts, OID
+// sequences, per-shard fingerprints, fan-out query answers — and fresh
+// inserts keep minting in the right residue classes.
+func TestShardedDurableReopenCounts(t *testing.T) {
+	const nShards = 3
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openTestDurableDB(t, dir, nShards)
+	values := populate(t, db)
+	// Churn: one more tree on shard 1, then delete its person so reopen
+	// has deletions to carry too.
+	co, err := db.InsertAt(1, "Company", map[string][]oodb.Value{"name": {oodb.StrV("churn-co")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, err := db.Insert("Vehicle", map[string][]oodb.Value{"man": {oodb.RefV(co)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vic, err := db.Insert("Person", map[string][]oodb.Value{"owns": {oodb.RefV(car)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(vic); err != nil {
+		t.Fatal(err)
+	}
+
+	wantLen := db.Len()
+	wantFP := make([]uint64, nShards)
+	wantNext := make([]oodb.OID, nShards)
+	for i := 0; i < nShards; i++ {
+		wantFP[i] = db.Store(i).Fingerprint()
+		wantNext[i], _ = db.Store(i).OIDSeq()
+	}
+	wantHits := make([][]oodb.OID, len(values))
+	for i, v := range values {
+		if wantHits[i], err = db.Query(v, "Person", true); err != nil {
+			t.Fatal(err)
+		}
+		if len(wantHits[i]) == 0 {
+			t.Fatalf("no owners found for %v before close", v)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openTestDurableDB(t, dir, nShards)
+	defer db2.Close()
+	if got := db2.Len(); got != wantLen {
+		t.Fatalf("reopened with %d objects, want %d", got, wantLen)
+	}
+	for i := 0; i < nShards; i++ {
+		if got := db2.Shard(i).Replayed(); got != 0 {
+			t.Fatalf("shard %d: clean close left %d WAL records", i, got)
+		}
+		if got := db2.Store(i).Fingerprint(); got != wantFP[i] {
+			t.Fatalf("shard %d: fingerprint %x, want %x", i, got, wantFP[i])
+		}
+		if next, stride := db2.Store(i).OIDSeq(); next != wantNext[i] || stride != nShards {
+			t.Fatalf("shard %d: OID sequence (%d,%d), want (%d,%d)", i, next, stride, wantNext[i], nShards)
+		}
+	}
+	for i, v := range values {
+		hits, err := db2.Query(v, "Person", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(hits) != fmt.Sprint(wantHits[i]) {
+			t.Fatalf("query %v after reopen = %v, want %v", v, hits, wantHits[i])
+		}
+	}
+	// The strided sequences continue where they left off.
+	for i := 0; i < nShards; i++ {
+		oid, err := db2.InsertAt(i, "Company", map[string][]oodb.Value{"name": {oodb.StrV("post")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oid != wantNext[i] {
+			t.Fatalf("shard %d: post-recovery insert minted %d, want %d", i, oid, wantNext[i])
+		}
+	}
+}
+
+// TestShardedDurableReopenWithoutClose: the per-shard WALs alone carry
+// the partitioned state back when the process vanishes.
+func TestShardedDurableReopenWithoutClose(t *testing.T) {
+	const nShards = 2
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openTestDurableDB(t, dir, nShards)
+	populate(t, db)
+	wantLen := db.Len()
+	wantFP := []uint64{db.Store(0).Fingerprint(), db.Store(1).Fingerprint()}
+	// No Close: abandon, as a kill would.
+
+	db2 := openTestDurableDB(t, dir, nShards)
+	defer db2.Close()
+	var replayed uint64
+	for i := 0; i < nShards; i++ {
+		replayed += db2.Shard(i).Replayed()
+	}
+	if replayed == 0 {
+		t.Fatal("no WAL records replayed after an unclean shutdown")
+	}
+	if got := db2.Len(); got != wantLen {
+		t.Fatalf("recovered %d objects, want %d", got, wantLen)
+	}
+	for i := range wantFP {
+		if got := db2.Store(i).Fingerprint(); got != wantFP[i] {
+			t.Fatalf("shard %d: recovered fingerprint %x, want %x", i, got, wantFP[i])
+		}
+	}
+}
+
+// TestShardedDurableGeometryMismatchRejected: reopening with a different
+// shard count or page size is refused — OID routing depends on both.
+func TestShardedDurableGeometryMismatchRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openTestDurableDB(t, dir, 3)
+	populate(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := schema.PaperSchema()
+	p := schema.PaperPathOwnsManName()
+	if _, err := shard.OpenShardedDurable(dir, s, p, wholeNIX(p.Len()), 1024, 4, shard.DurableOptions{}); err == nil {
+		t.Fatal("shard-count mismatch not rejected")
+	}
+	if _, err := shard.OpenShardedDurable(dir, s, p, wholeNIX(p.Len()), 2048, 3, shard.DurableOptions{}); err == nil {
+		t.Fatal("page-size mismatch not rejected")
+	}
+	if _, err := shard.OpenShardedDurable(dir, s, p, wholeNIX(p.Len()), 1024, 3,
+		shard.DurableOptions{Engine: engine.DurableOptions{FirstOID: 7}}); err == nil {
+		t.Fatal("caller-set FirstOID not rejected")
+	}
+}
+
+// TestShardedDurableDriftViewCarriesDurabilityCost: the fleet drift view
+// and the workload roll-up both surface the summed durability counters.
+func TestShardedDurableDriftViewCarriesDurabilityCost(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openTestDurableDB(t, dir, 2)
+	defer db.Close()
+	populate(t, db)
+	v := db.Drift()
+	if v.Fsyncs == 0 || v.WALBytes == 0 {
+		t.Fatalf("drift view reports fsyncs=%d walBytes=%d, want both positive", v.Fsyncs, v.WALBytes)
+	}
+	ds := db.DurabilityStats()
+	if v.Fsyncs != ds.Fsyncs || v.WALBytes != ds.WALBytes {
+		t.Fatalf("drift view (%d,%d) disagrees with DurabilityStats (%d,%d)", v.Fsyncs, v.WALBytes, ds.Fsyncs, ds.WALBytes)
+	}
+	w := db.WorkloadSnapshot()
+	if w.Fsyncs != ds.Fsyncs || w.WALBytes != ds.WALBytes {
+		t.Fatalf("workload roll-up (%d,%d) disagrees with DurabilityStats (%d,%d)", w.Fsyncs, w.WALBytes, ds.Fsyncs, ds.WALBytes)
+	}
+	if err := db.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.NumShards(); i++ {
+		if db.Shard(i).Checkpoints() == 0 {
+			t.Fatalf("shard %d: fan-out checkpoint did not run", i)
+		}
+	}
+}

@@ -490,6 +490,12 @@ type DriftView struct {
 	// shard's observed operation count — low when only idle shards have
 	// drifted.
 	Weighted float64
+	// Fsyncs and WALBytes are the fleet-wide durability cost of the
+	// traffic behind these drifts — a drifted shard that is also paying
+	// heavy commit traffic is the one to reconfigure first. Zero on an
+	// in-memory database.
+	Fsyncs   uint64
+	WALBytes uint64
 }
 
 // Drift returns the aggregate drift view across shards. Each shard's
@@ -507,6 +513,9 @@ func (db *DB) Drift() DriftView {
 		ops := float64(w.Total)
 		wsum += d * ops
 		osum += ops
+		ds := e.DurabilityStats()
+		v.Fsyncs += ds.Fsyncs
+		v.WALBytes += ds.WALBytes
 	}
 	if osum > 0 {
 		v.Weighted = wsum / osum

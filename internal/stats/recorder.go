@@ -119,9 +119,17 @@ func (c ClassLoad) Ops() uint64 { return c.Queries + c.Inserts + c.Deletes + c.U
 // class of the path's scope, in path order. Total is the sum over entries
 // (recomputed from the per-class counters, so it is internally consistent
 // even when taken mid-traffic).
+//
+// Fsyncs and WALBytes carry the durability cost of serving that traffic —
+// write-ahead-log bytes appended and fsyncs issued — when the engine runs
+// durable; both stay zero for an in-memory engine. They ride on the
+// workload snapshot so operators see I/O cost and operation mix in one
+// view (and roll up across shards the same way).
 type Workload struct {
-	Total   uint64
-	Classes []ClassLoad
+	Total    uint64
+	Classes  []ClassLoad
+	Fsyncs   uint64
+	WALBytes uint64
 }
 
 // Snapshot captures the current counters.
@@ -158,6 +166,8 @@ func MergeWorkloads(ws ...Workload) Workload {
 	}
 	pos := make(map[cell]int)
 	for _, w := range ws {
+		out.Fsyncs += w.Fsyncs
+		out.WALBytes += w.WALBytes
 		for _, c := range w.Classes {
 			key := cell{c.Level, c.Class}
 			i, ok := pos[key]

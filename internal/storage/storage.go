@@ -17,10 +17,21 @@ type PageID uint64
 
 // Page is a fixed-size page. Data has the pager's page size; the Tag field
 // is free for owners (e.g. which class a page stores objects of).
+//
+// With a disk backend the pager additionally tracks per-page state —
+// dirty (written since the last write-back), resident (the in-memory
+// image is current; a non-resident page pays a real backend read), and a
+// pin count (pinned pages are never evicted). All three are guarded by
+// the pager's pool lock and unused in memory mode.
 type Page struct {
 	ID   PageID
 	Data []byte
 	Tag  string
+
+	dirty    bool
+	evicted  bool // non-resident: next Read re-fetches from the backend
+	pins     int
+	everSync bool // written to the backend at least once
 }
 
 // Stats counts page-level operations since the last reset.
@@ -30,6 +41,13 @@ type Stats struct {
 	Allocs uint64 // pages allocated
 	Frees  uint64 // pages freed
 	Hits   uint64 // buffer pool hits (not counted as Reads)
+
+	// Durability counters. A plain pager leaves them zero; a disk-backed
+	// pager counts its backend fsyncs, and the engine folds its write-ahead
+	// log's fsync and byte counts in so durability cost is visible next to
+	// page accesses.
+	Fsyncs   uint64 // fsync calls issued (page file + WAL)
+	WALBytes uint64 // bytes appended to the write-ahead log
 }
 
 // Accesses returns reads+writes, the paper's page-access metric.
@@ -43,6 +61,8 @@ func (s *Stats) Add(o Stats) {
 	s.Allocs += o.Allocs
 	s.Frees += o.Frees
 	s.Hits += o.Hits
+	s.Fsyncs += o.Fsyncs
+	s.WALBytes += o.WALBytes
 }
 
 // lruNode is one entry of the buffer pool's intrusive recency list.
@@ -87,8 +107,25 @@ type Pager struct {
 	next     PageID
 
 	stripes [numStripes]counterStripe
+	fsyncs  atomic.Uint64
 
-	// LRU buffer pool; lruMu guards nodes and the list.
+	// backend, when non-nil, makes the pager disk-backed: evicting a page
+	// from the buffer pool writes it back if dirty and marks it
+	// non-resident, and the next Read of a non-resident page pays a real
+	// backend read (pread + checksum verification). In memory mode
+	// (backend nil) every page's image stays resident and the pool only
+	// models hit/miss accounting, exactly the pre-durability behavior.
+	backend Backend
+
+	// sticky latches the first backend failure observed on a path that
+	// cannot return it (an eviction write-back inside touch); Err exposes
+	// it, and oodb.Store checks it after page operations.
+	sticky atomic.Pointer[error]
+
+	// LRU buffer pool; lruMu guards nodes, the list, and (in disk-backed
+	// mode) every page's dirty/evicted/pins state. The miss path performs
+	// backend I/O under this lock: misses serialize, which is acceptable
+	// because the serving hot path is expected to hit.
 	capacity int
 	lruMu    sync.Mutex
 	nodes    map[PageID]*lruNode
@@ -122,6 +159,47 @@ func MustNewPager(pageSize, capacity int) *Pager {
 	return p
 }
 
+// NewPagerBacked returns a disk-backed pager: page images live in be's
+// file, the LRU pool (capacity > 0 required — with no pool nothing could
+// ever be resident) holds the working set, dirty pages write back on
+// eviction, and reads of non-resident pages pay a real backend read.
+func NewPagerBacked(pageSize, capacity int, be Backend) (*Pager, error) {
+	if be == nil {
+		return nil, fmt.Errorf("storage: nil backend")
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: disk-backed pager needs a buffer pool (capacity %d)", capacity)
+	}
+	p, err := NewPager(pageSize, capacity)
+	if err != nil {
+		return nil, err
+	}
+	p.backend = be
+	return p, nil
+}
+
+// Backend returns the pager's backend (nil in memory mode).
+func (p *Pager) Backend() Backend { return p.backend }
+
+// Err returns the pager's sticky error: the first backend failure hit on
+// a path that could not return it (an eviction write-back). Paths that can
+// return errors (Read, Write, Flush, Sync) both return and latch them.
+func (p *Pager) Err() error {
+	if e := p.sticky.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// fail latches err as the pager's sticky error (first one wins) and
+// returns it.
+func (p *Pager) fail(err error) error {
+	if err != nil {
+		p.sticky.CompareAndSwap(nil, &err)
+	}
+	return err
+}
+
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
 
@@ -130,10 +208,12 @@ func (p *Pager) stripe(id PageID) *counterStripe {
 	return &p.stripes[uint64(id)&(numStripes-1)]
 }
 
-// Alloc allocates a new zeroed page.
+// Alloc allocates a new zeroed page. In disk-backed mode the fresh page is
+// born dirty (it has never been written back); an eviction forced by the
+// allocation may hit a backend failure, which latches as the sticky error.
 func (p *Pager) Alloc(tag string) *Page {
 	p.structMu.Lock()
-	pg := &Page{ID: p.next, Data: make([]byte, p.pageSize), Tag: tag}
+	pg := &Page{ID: p.next, Data: make([]byte, p.pageSize), Tag: tag, dirty: p.backend != nil}
 	p.next++
 	p.pages.Store(pg.ID, pg)
 	p.numPages.Add(1)
@@ -168,19 +248,112 @@ func (p *Pager) Read(id PageID) (*Page, error) {
 		st.hits.Add(1)
 	} else {
 		st.reads.Add(1)
+		// Disk-backed miss of a page whose image was evicted: re-fetch from
+		// the backend — the real I/O a buffer miss costs. The image is read
+		// into a scratch buffer first so a torn or failing read never
+		// clobbers the in-memory copy.
+		if p.backend != nil && pg.evicted {
+			buf := make([]byte, p.pageSize)
+			if err := p.backend.ReadPage(id, buf); err != nil {
+				p.lruMu.Unlock()
+				return nil, p.fail(fmt.Errorf("storage: re-reading page %d: %w", id, err))
+			}
+			copy(pg.Data, buf)
+			pg.evicted = false
+		}
 	}
 	p.touchLocked(id)
 	p.lruMu.Unlock()
 	return pg, nil
 }
 
-// Write marks a page written back, counting a write.
+// Write marks a page written back, counting a write. In disk-backed mode
+// the page becomes dirty; the image reaches the backend on eviction or at
+// the next Flush.
 func (p *Pager) Write(pg *Page) error {
 	if _, ok := p.pages.Load(pg.ID); !ok {
 		return fmt.Errorf("storage: write of unknown page %d", pg.ID)
 	}
 	p.stripe(pg.ID).writes.Add(1)
+	if p.backend != nil {
+		p.lruMu.Lock()
+		pg.dirty = true
+		pg.evicted = false // the in-memory image is now the newest
+		p.touchLocked(pg.ID)
+		p.lruMu.Unlock()
+		return p.Err()
+	}
 	p.touch(pg.ID)
+	return nil
+}
+
+// Pin marks a page unevictable until the matching Unpin; owners pin pages
+// they hold byte-image references into across operations. Pins are
+// meaningful only in disk-backed mode and nest.
+func (p *Pager) Pin(id PageID) {
+	if p.backend == nil {
+		return
+	}
+	if v, ok := p.pages.Load(id); ok {
+		p.lruMu.Lock()
+		v.(*Page).pins++
+		p.lruMu.Unlock()
+	}
+}
+
+// Unpin releases one Pin.
+func (p *Pager) Unpin(id PageID) {
+	if p.backend == nil {
+		return
+	}
+	if v, ok := p.pages.Load(id); ok {
+		p.lruMu.Lock()
+		if pg := v.(*Page); pg.pins > 0 {
+			pg.pins--
+		}
+		p.lruMu.Unlock()
+	}
+}
+
+// Flush writes every dirty page image to the backend and fsyncs it — the
+// buffer-pool half of a checkpoint. No-op in memory mode.
+func (p *Pager) Flush() error {
+	if p.backend == nil {
+		return nil
+	}
+	var failed error
+	p.pages.Range(func(_, v any) bool {
+		pg := v.(*Page)
+		p.lruMu.Lock()
+		if !pg.dirty {
+			p.lruMu.Unlock()
+			return true
+		}
+		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+			p.lruMu.Unlock()
+			failed = err
+			return false
+		}
+		pg.dirty = false
+		pg.everSync = true
+		p.lruMu.Unlock()
+		return true
+	})
+	if failed != nil {
+		return p.fail(failed)
+	}
+	return p.Sync()
+}
+
+// Sync fsyncs the backend, counting the fsync. No-op in memory mode.
+func (p *Pager) Sync() error {
+	if p.backend == nil {
+		return nil
+	}
+	p.fsyncs.Add(1)
+	if err := p.backend.Sync(); err != nil {
+		return p.fail(err)
+	}
 	return nil
 }
 
@@ -238,10 +411,63 @@ func (p *Pager) touchLocked(id PageID) {
 	p.nodes[id] = nd
 	p.pushFront(nd)
 	for len(p.nodes) > p.capacity {
-		victim := p.tail
+		victim := p.victimLocked()
+		if victim == nil {
+			return // everything evictable is pinned; run over capacity
+		}
+		if p.backend != nil {
+			if !p.evictLocked(victim.id) {
+				return
+			}
+		}
 		p.unlink(victim)
 		delete(p.nodes, victim.id)
 	}
+}
+
+// victimLocked returns the least recently used unpinned node, or nil.
+// Caller holds lruMu.
+func (p *Pager) victimLocked() *lruNode {
+	for nd := p.tail; nd != nil; nd = nd.prev {
+		if p.backend == nil {
+			return nd
+		}
+		if v, ok := p.pages.Load(nd.id); ok && v.(*Page).pins > 0 {
+			continue
+		}
+		return nd
+	}
+	return nil
+}
+
+// evictLocked writes a dirty victim back to the backend and marks the page
+// non-resident. A write-back failure latches the sticky error and leaves
+// the page resident (its image is the only current copy); the caller skips
+// the eviction. Caller holds lruMu.
+func (p *Pager) evictLocked(id PageID) bool {
+	v, ok := p.pages.Load(id)
+	if !ok {
+		return true // freed concurrently; nothing to persist
+	}
+	pg := v.(*Page)
+	if pg.dirty {
+		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+			p.fail(fmt.Errorf("storage: evicting page %d: %w", pg.ID, err))
+			return false
+		}
+		pg.dirty = false
+		pg.everSync = true
+	} else if !pg.everSync {
+		// Never written back (e.g. clean-by-construction after a restore):
+		// persist once so the image is re-readable.
+		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+			p.fail(fmt.Errorf("storage: evicting page %d: %w", pg.ID, err))
+			return false
+		}
+		pg.everSync = true
+	}
+	pg.evicted = true
+	return true
 }
 
 // pushFront makes nd the most recently used node. Caller holds lruMu.
@@ -285,6 +511,7 @@ func (p *Pager) Stats() Stats {
 		s.Frees += st.frees.Load()
 		s.Hits += st.hits.Load()
 	}
+	s.Fsyncs = p.fsyncs.Load()
 	return s
 }
 
@@ -298,6 +525,7 @@ func (p *Pager) ResetStats() {
 		st.frees.Store(0)
 		st.hits.Store(0)
 	}
+	p.fsyncs.Store(0)
 }
 
 // NumPages returns the number of live pages.
