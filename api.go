@@ -11,6 +11,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/oodb"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -157,6 +158,49 @@ const (
 // ErrCrossShard reports an insert or update whose references span
 // shards; a path instance must stay within one shard (see ShardedDB).
 var ErrCrossShard = shard.ErrCrossShard
+
+// Re-exported planner types: conjunctive predicates over several
+// registered paths, compiled to selectivity-ordered probe plans.
+type (
+	// Planner compiles And/Or/Eq/Range predicate trees over registered
+	// paths into cost-ordered physical plans; its Query method is the
+	// one-call entry (plan, execute, record). Register each path with the
+	// index source that serves it (a Database, a ShardedDB or an OpenStatic
+	// executor).
+	Planner = plan.Planner
+	// Predicate is a boolean combination of path predicates, built with
+	// Eq, Range, And and Or.
+	Predicate = plan.Predicate
+	// QueryPlan is one compiled physical plan: Execute returns OIDs,
+	// ExecuteValues projects an ending attribute, Explain renders the
+	// chosen probe order and residual filters.
+	QueryPlan = plan.Plan
+	// PlanOptions tune plan compilation (DeclaredOrder pins the written
+	// conjunct order instead of selectivity ordering).
+	PlanOptions = plan.Options
+	// PredicateSource is anything that can answer point and range probes
+	// for a registered path; Database, ShardedDB and exec.Configured all
+	// satisfy it.
+	PredicateSource = plan.Source
+)
+
+// NewPlanner returns an empty planner over the store; register paths
+// with (*Planner).Register, then Plan or Query predicates. Residual
+// conjuncts — leaves whose path has no registered index — are verified
+// against the store by navigation.
+func NewPlanner(st *Store) *Planner { return plan.NewPlanner(st) }
+
+// Eq builds the predicate "path's ending attribute = v".
+func Eq(p *Path, v Value) Predicate { return plan.Eq(p, v) }
+
+// Range builds the predicate "path's ending attribute IN [lo, hi)".
+func Range(p *Path, lo, hi Value) Predicate { return plan.Range(p, lo, hi) }
+
+// And conjoins predicates (nested Ands flatten).
+func And(preds ...Predicate) Predicate { return plan.And(preds...) }
+
+// Or disjoins predicates (nested Ors flatten).
+func Or(preds ...Predicate) Predicate { return plan.Or(preds...) }
 
 // IntV, StrV and RefV construct attribute values.
 func IntV(v int64) Value  { return oodb.IntV(v) }
@@ -348,9 +392,9 @@ func SelectBatch(pss []*PathStats, orgs []Organization) ([]Result, error) {
 // The per-path selections run concurrently; the merge is deterministic in
 // input order.
 func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
-	var plan MultiPlan
+	var mp MultiPlan
 	if len(pss) == 0 {
-		return plan, fmt.Errorf("ooindex: no paths given")
+		return mp, fmt.Errorf("ooindex: no paths given")
 	}
 	// Per-path selections are independent; SelectEach fans them out over
 	// the CPUs (splitting the budget with matrix-level parallelism) and
@@ -369,23 +413,23 @@ func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
 	structures := make(map[string]*physical)
 	for i, ps := range pss {
 		if errs[i] != nil {
-			return plan, errs[i]
+			return mp, errs[i]
 		}
 		res, m := results[i], ms[i]
-		plan.Configs = append(plan.Configs, res.Best)
-		plan.UnsharedCost += res.Best.Cost
+		mp.Configs = append(mp.Configs, res.Best)
+		mp.UnsharedCost += res.Best.Cost
 		for _, asg := range res.Best.Assignments {
 			sp, err := ps.Path.SubPath(asg.A, asg.B)
 			if err != nil {
-				return plan, err
+				return mp, err
 			}
 			entry, ok := m.Entry(asg.A, asg.B, asg.Org)
 			if !ok {
-				return plan, fmt.Errorf("ooindex: missing matrix entry for %s", sp)
+				return mp, fmt.Errorf("ooindex: missing matrix entry for %s", sp)
 			}
 			key := sp.String() + "/" + asg.Org.String()
 			maint := entry.SC.Maint + entry.SC.CMD
-			plan.TotalCost += entry.SC.Query
+			mp.TotalCost += entry.SC.Query
 			if st, ok := structures[key]; ok {
 				st.n++
 				if maint > st.maint {
@@ -397,11 +441,11 @@ func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
 		}
 	}
 	for key, st := range structures {
-		plan.TotalCost += st.maint
+		mp.TotalCost += st.maint
 		if st.n > 1 {
-			plan.SharedSubpaths = append(plan.SharedSubpaths, key)
+			mp.SharedSubpaths = append(mp.SharedSubpaths, key)
 		}
 	}
-	sort.Strings(plan.SharedSubpaths)
-	return plan, nil
+	sort.Strings(mp.SharedSubpaths)
+	return mp, nil
 }

@@ -23,6 +23,9 @@
 //	ixbench -run durable      # durability cost: fsync policies, recovery
 //	                          # time vs WAL length, cold-cache serving
 //	                          # (E5); emits BENCH_wal.json
+//	ixbench -run plan         # conjunctive planner: selectivity ordering
+//	                          # and shard-summary pruning (E6); emits
+//	                          # BENCH_plan.json
 package main
 
 import (
@@ -52,6 +55,7 @@ var modes = []struct{ name, desc string }{
 	{"maintain", "update maintenance cost at mixed read/write ratios; emits BENCH_maintain.json (E3)"},
 	{"shard", "sharded serving throughput at 1/2/4/8 shards x 1/2/4/8 workers; emits BENCH_shard.json (E4)"},
 	{"durable", "durability cost: fsync policies, recovery time, cold-cache serving; emits BENCH_wal.json (E5)"},
+	{"plan", "conjunctive planner: selectivity ordering and shard-summary pruning; emits BENCH_plan.json (E6)"},
 }
 
 func usage() {
@@ -83,16 +87,18 @@ func main() {
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "output file for the shard experiment's JSON report")
 	durableOps := flag.Int("durable-ops", 3000, "base write-operation count in the durable experiment")
 	durableOut := flag.String("durable-out", "BENCH_wal.json", "output file for the durable experiment's JSON report")
+	planOps := flag.Int("plan-ops", 2000, "operations per arm in the plan experiment")
+	planOut := flag.String("plan-out", "BENCH_plan.json", "output file for the plan experiment's JSON report")
 	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -223,6 +229,18 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 		}
 		fmt.Println(rep.Render())
 		if err := writeJSON(durableOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("plan") {
+		ran = true
+		section("E6 — conjunctive planner: ordering and shard pruning")
+		rep, err := experiments.RunPlan(seed, planOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if err := writeJSON(planOut, rep); err != nil {
 			return err
 		}
 	}

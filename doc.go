@@ -35,7 +35,11 @@
 //     value queries out and merges, and re-selects per shard;
 //   - durable deployments (OpenDurable, OpenShardedDurable): a disk-backed
 //     buffer pool, a write-ahead log with selectable fsync policy, and
-//     checkpoint-based crash recovery, gated by fault-injection tests.
+//     checkpoint-based crash recovery, gated by fault-injection tests;
+//   - a conjunctive-predicate planner (NewPlanner) that compiles
+//     And/Or/Eq/Range trees over several registered paths into
+//     selectivity-ordered probe plans, intersecting candidate OID sets
+//     with a galloping zero-allocation kernel.
 //
 // # Quick start
 //
@@ -198,6 +202,36 @@
 // time vs WAL length and cold-cache serving, and writes BENCH_wal.json;
 // DESIGN.md §8 records the protocol and the crash matrix. See
 // examples/durable for a kill-and-recover walkthrough.
+//
+// # Planning
+//
+// The paper prices one path expression; real predicates conjoin several
+// (age = 30 AND owns.man.name = "Ford"). NewPlanner returns a planner
+// over a store; Register binds each path to whatever answers its probes
+// — a Database, a ShardedDB or an OpenStatic executor. Eq, Range, And
+// and Or build predicate trees; Planner.Query (or Plan + Execute, with
+// Explain for the chosen shape) compiles a tree into a physical plan
+// that probes indexed conjuncts cheapest-first — ordered by a live
+// estimate of each leaf's result cardinality, fed back from every
+// executed probe, falling back to the analytic model's uniform-value
+// estimate when cold — and narrows the candidate set with a galloping,
+// allocation-free sorted-OID intersection. Conjuncts whose path has no
+// registered index become residual post-filters: each surviving
+// candidate is verified against the store by forward navigation.
+// Disjunctions merge through a k-way tournament merge. Executed plans
+// record their predicate mix (point/range/residual per path), which
+// surfaces in WorkloadSnapshot next to the per-class counters.
+//
+// Against a ShardedDB the planner composes with summary pruning: each
+// shard maintains min/max bounds plus a Bloom filter over its resident
+// ending-attribute values, so value probes skip shards that provably
+// cannot match — sound because a path instance never spans shards, and
+// maintained incrementally on the facade's write path (deletions only
+// loosen the summary; Reconfigure re-tightens it). Experiment E6
+// (ixbench -run plan) measures both effects — selectivity ordering vs
+// the worst fixed order vs naive scanning, and the pruned fan-out on a
+// skewed sharded workload — and writes BENCH_plan.json; DESIGN.md §9
+// records the design. See examples/planner for an end-to-end program.
 //
 // See README.md for the repository map, the examples/ directory for
 // end-to-end programs, and DESIGN.md for the system inventory and the

@@ -147,6 +147,7 @@ type Engine struct {
 	writeMu sync.Mutex
 
 	rec      *stats.Recorder
+	preds    *stats.PredRecorder             // observed planner predicate mix
 	baseline atomic.Pointer[model.PathStats] // loads the active config was selected for
 
 	ops        atomic.Uint64 // operations since the last auto check window
@@ -183,7 +184,7 @@ func New(st *oodb.Store, p *schema.Path, cfg core.Configuration, pageSize int, o
 			return nil, fmt.Errorf("engine: organization %v has no working implementation; cannot be a re-selection column", org)
 		}
 	}
-	e := &Engine{store: st, path: p, pageSize: pageSize, opts: opts, rec: stats.NewRecorder(p)}
+	e := &Engine{store: st, path: p, pageSize: pageSize, opts: opts, rec: stats.NewRecorder(p), preds: stats.NewPredRecorder()}
 	set, err := exec.NewIndexSet(st, p, cfg, pageSize, e.rec)
 	if err != nil {
 		return nil, err
@@ -376,11 +377,25 @@ func (e *Engine) Swaps() uint64 { return e.swaps.Load() }
 // that traffic.
 func (e *Engine) WorkloadSnapshot() stats.Workload {
 	w := e.rec.Snapshot()
+	w.Predicates = e.preds.Snapshot()
 	if e.dur != nil {
 		ds := e.DurabilityStats()
 		w.Fsyncs, w.WALBytes = ds.Fsyncs, ds.WALBytes
 	}
 	return w
+}
+
+// RecordPredicate counts one planner predicate-leaf evaluation against a
+// path — the multi-path feedback channel: when the engine serves as a
+// planner source, every conjunct or disjunct leaf it answers (and every
+// residual the planner verified around it) lands here, and
+// WorkloadSnapshot exposes the mix so re-selection tooling (SelectMulti
+// over the co-occurring paths) sees real predicate traffic instead of
+// single-path counts. The class-level recorder still counts the leaf's
+// query for drift purposes; this channel adds the path identity and the
+// indexed/residual split that the class counters erase.
+func (e *Engine) RecordPredicate(path string, kind stats.PredKind) {
+	e.preds.Record(path, kind)
 }
 
 // Drift returns the total-variation distance between the load
@@ -535,6 +550,7 @@ func (e *Engine) adoptBaseline(ps *model.PathStats) {
 		e.baseline.Store(ps)
 	}
 	e.rec.Reset()
+	e.preds.Reset()
 	e.ops.Store(0)
 }
 

@@ -28,9 +28,11 @@ func NaiveQuery(st *oodb.Store, p *schema.Path, value oodb.Value, targetClass st
 	return naiveMatch(st, p, targetClass, hierarchy, func(v oodb.Value) bool { return v.Equal(value) })
 }
 
-// naiveMatch scans targetClass and navigates forward, collecting objects
-// whose nested ending value satisfies pred.
-func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bool, pred func(oodb.Value) bool) ([]oodb.OID, error) {
+// PathLevel resolves targetClass to its level within p (its last
+// occurrence across the per-level hierarchies, matching naive
+// evaluation's level resolution), or an error when the class is outside
+// p's scope.
+func PathLevel(p *schema.Path, targetClass string) (int, error) {
 	level := 0
 	for l := 1; l <= p.Len(); l++ {
 		for _, cn := range p.HierarchyAt(l) {
@@ -40,42 +42,59 @@ func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bo
 		}
 	}
 	if level == 0 {
-		return nil, fmt.Errorf("exec: class %q not in scope of %s", targetClass, p)
+		return 0, fmt.Errorf("exec: class %q not in scope of %s", targetClass, p)
 	}
-	var reaches func(obj *oodb.Object, l int) (bool, error)
-	reaches = func(obj *oodb.Object, l int) (bool, error) {
-		if l == p.Len() {
-			for _, v := range obj.Values(p.Attr(l)) {
-				if pred(v) {
-					return true, nil
-				}
-			}
-			return false, nil
-		}
-		for _, r := range obj.Refs(p.Attr(l)) {
-			child, err := st.Get(r)
-			if err != nil {
-				if errors.Is(err, oodb.ErrNotFound) {
-					// Dangling forward reference after a deletion —
-					// expected under the paper's reference model.
-					continue
-				}
-				return false, err
-			}
-			ok, err := reaches(child, l+1)
-			if err != nil {
-				return false, err
-			}
-			if ok {
+	return level, nil
+}
+
+// Reaches reports whether obj — an object at the given level of p —
+// navigates forward along p to an ending-attribute value satisfying
+// pred. Page accesses for the objects visited are counted through the
+// store's pager; dangling forward references (expected after deletions
+// under the paper's reference model) are skipped. This is the one
+// verification primitive shared by naive evaluation and the planner's
+// residual post-filter.
+func Reaches(st *oodb.Store, p *schema.Path, obj *oodb.Object, level int, pred func(oodb.Value) bool) (bool, error) {
+	if level == p.Len() {
+		for _, v := range obj.Values(p.Attr(level)) {
+			if pred(v) {
 				return true, nil
 			}
 		}
 		return false, nil
 	}
+	for _, r := range obj.Refs(p.Attr(level)) {
+		child, err := st.Get(r)
+		if err != nil {
+			if errors.Is(err, oodb.ErrNotFound) {
+				// Dangling forward reference after a deletion —
+				// expected under the paper's reference model.
+				continue
+			}
+			return false, err
+		}
+		ok, err := Reaches(st, p, child, level+1, pred)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// naiveMatch scans targetClass and navigates forward, collecting objects
+// whose nested ending value satisfies pred.
+func naiveMatch(st *oodb.Store, p *schema.Path, targetClass string, hierarchy bool, pred func(oodb.Value) bool) ([]oodb.OID, error) {
+	level, err := PathLevel(p, targetClass)
+	if err != nil {
+		return nil, err
+	}
 	var out []oodb.OID
 	var scanErr error
 	scan := func(obj *oodb.Object) bool {
-		ok, err := reaches(obj, level)
+		ok, err := Reaches(st, p, obj, level, pred)
 		if err != nil {
 			scanErr = err
 			return false

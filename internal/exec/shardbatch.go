@@ -43,10 +43,12 @@ func ScatterErrors(dst []error, pos [][]int, errs [][]error) {
 // probe-order result set: byShard[s][i] is shard s's answer to probe i,
 // sorted and deduplicated as QueryBatch returns it. Because shards
 // partition the OID space, the per-shard answers to one probe are
-// disjoint sorted runs; merging keeps the combined result sorted and
-// duplicate-free — bit-identical to evaluating the probe against a
-// single store holding all partitions' objects. A probe with no match
-// in any shard stays nil, matching the single-owner contract.
+// disjoint sorted runs; the k-way tournament merge (MergeKSortedOIDs,
+// O(total·log shards) where the old pairwise fold was O(shards·total))
+// keeps the combined result sorted and duplicate-free — bit-identical to
+// evaluating the probe against a single store holding all partitions'
+// objects. A probe with no match in any shard stays nil, matching the
+// single-owner contract.
 func MergeProbeResults(byShard [][][]oodb.OID) [][]oodb.OID {
 	if len(byShard) == 0 {
 		return nil
@@ -55,19 +57,17 @@ func MergeProbeResults(byShard [][][]oodb.OID) [][]oodb.OID {
 		return byShard[0]
 	}
 	out := make([][]oodb.OID, len(byShard[0]))
+	runs := make([][]oodb.OID, len(byShard))
 	for i := range out {
 		var total int
-		for _, shard := range byShard {
+		for s, shard := range byShard {
+			runs[s] = shard[i]
 			total += len(shard[i])
 		}
 		if total == 0 {
 			continue
 		}
-		merged := make([]oodb.OID, 0, total)
-		for _, shard := range byShard {
-			merged = MergeSortedOIDs(merged, shard[i])
-		}
-		out[i] = merged
+		out[i] = MergeKSortedOIDs(make([]oodb.OID, 0, total), runs...)
 	}
 	return out
 }

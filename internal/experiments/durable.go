@@ -36,6 +36,7 @@ import (
 //     page-access advantage persists (and grows) when misses cost real
 //     I/O, which is the cost model's original premise.
 type DurableReport struct {
+	Host     HostInfo               `json:"host"`
 	Seed     int64                  `json:"seed"`
 	Ops      int                    `json:"ops"`
 	Policies []DurablePolicyPoint   `json:"policies"`
@@ -147,7 +148,7 @@ func durableCfg(p *schema.Path) core.Configuration {
 // the base workload size. Directories live under the system temp dir and
 // are removed afterwards.
 func RunDurable(seed int64, ops int) (DurableReport, error) {
-	rep := DurableReport{Seed: seed, Ops: ops}
+	rep := DurableReport{Host: CollectHost(), Seed: seed, Ops: ops}
 	p := schema.PaperPathOwnsManName()
 	s := p.Schema()
 	cfg := durableCfg(p)

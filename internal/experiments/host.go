@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+)
+
+// HostInfo pins a benchmark artifact to the machine shape it ran on.
+// Throughput and latency numbers are meaningless without the core count
+// and scheduler width behind them; committed BENCH_*.json artifacts
+// carry this block so a regression seen across two artifacts can first
+// be checked for a host change.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// PageSize is the OS memory page size in bytes — context for the
+	// pager-level pages/op figures, which use the model's page size, not
+	// this one.
+	PageSize int `json:"os_page_size"`
+}
+
+// CollectHost snapshots the current process's host shape.
+func CollectHost() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PageSize:   os.Getpagesize(),
+	}
+}

@@ -50,6 +50,7 @@ type MaintainPoint struct {
 // MaintainReport is experiment E3's outcome, serialized to
 // BENCH_maintain.json by `ixbench -run maintain`.
 type MaintainReport struct {
+	Host  HostInfo        `json:"host"`
 	Seed  int64           `json:"seed"`
 	Scale float64         `json:"scale"`
 	Mix   string          `json:"mix"`
@@ -73,6 +74,7 @@ type maintainBackend struct {
 // mixed workload.
 func RunMaintain(seed int64, readFracs []float64, ops int) (MaintainReport, error) {
 	rep := MaintainReport{
+		Host:  CollectHost(),
 		Seed:  seed,
 		Scale: 0.01,
 		Mix:   "reads: 2/3 Person + 1/3 Division point queries; writes: 1/2 Vehicle.man re-links + 1/2 Division.name value changes",

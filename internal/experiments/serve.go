@@ -43,6 +43,7 @@ type ServePoint struct {
 // by `ixbench -run serve` so the repository accumulates a throughput
 // trajectory across revisions.
 type ServeReport struct {
+	Host         HostInfo     `json:"host"`
 	Seed         int64        `json:"seed"`
 	Scale        float64      `json:"scale"`
 	Mix          string       `json:"mix"`
@@ -67,6 +68,7 @@ type serveBackend struct {
 // realized cost is recorded.
 func RunServe(seed int64, workerCounts []int, opsPerWorker int) (ServeReport, error) {
 	rep := ServeReport{
+		Host:         CollectHost(),
 		Seed:         seed,
 		Scale:        0.01,
 		Mix:          "60% Person query / 30% Division query / 5% insert / 5% delete",

@@ -69,6 +69,7 @@ type ShardPoint struct {
 // ShardReport is experiment E4's outcome, serialized to BENCH_shard.json
 // by `ixbench -run shard`.
 type ShardReport struct {
+	Host         HostInfo     `json:"host"`
 	Seed         int64        `json:"seed"`
 	Scale        float64      `json:"scale"`
 	Mix          string       `json:"mix"`
@@ -98,6 +99,7 @@ type shardBackend struct {
 func RunShard(seed int64, shardCounts, workerCounts []int, opsPerWorker int) (ShardReport, error) {
 	const batchSize = 8
 	rep := ShardReport{
+		Host:         CollectHost(),
 		Seed:         seed,
 		Scale:        0.01,
 		Mix:          "60% point-probe batches (3:1 Person:Division) / 30% by-OID gets / 5% insert / 5% delete",

@@ -95,6 +95,43 @@ func (v Value) Equal(o Value) bool {
 	}
 }
 
+// Compare orders two values: -1, 0 or +1 as v sorts before, equal to or
+// after o. Values of different kinds order by kind (integers before
+// strings before references), making the order total — what the shard
+// summaries' min/max bounds and the planner's range predicates rely on.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case IntVal:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+	case StrVal:
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		}
+	default:
+		switch {
+		case v.Ref < o.Ref:
+			return -1
+		case v.Ref > o.Ref:
+			return 1
+		}
+	}
+	return 0
+}
+
 // ValuesEqual compares two value slices element-wise (order-sensitive).
 // Index maintenance uses it as the cheap "did this attribute actually
 // change" test on the update path.

@@ -1,0 +1,190 @@
+// Package plan evaluates composable predicates over the indexed paths of
+// an object store — the query planner layer above the single-path
+// executor.
+//
+// The paper's machinery (and the executor built from it) answers one
+// predicate shape: A_n = v or A_n IN [lo, hi) along one path. Real
+// workloads conjoin predicates across several paths ("persons owning a
+// vehicle made by company C, with age in [30, 40)") and disjoin
+// alternatives. This package adds a small predicate AST — Eq and Range
+// leaves over schema paths, composed with And and Or — plus a
+// cost-ordered physical planner:
+//
+//	order     — the conjuncts of an And are probed cheapest-first, by
+//	            estimated result cardinality: live observed sizes when
+//	            the planner has seen the (path, operator) pair before,
+//	            PathStats-derived estimates (N_target/D_ending for
+//	            equality) otherwise. The cheapest probe bounds every
+//	            later intersection, and an empty intermediate result
+//	            short-circuits the remaining probes entirely.
+//	intersect — each subsequent conjunct's sorted duplicate-free OID run
+//	            is intersected into the accumulator by galloping search
+//	            (exec.IntersectSortedOIDs), in place and allocation-free.
+//	union     — the disjuncts of an Or merge through the k-way
+//	            tournament merge (exec.MergeKSortedOIDs).
+//	residual  — a conjunct over a path with no registered index source is
+//	            applied as a post-filter: each surviving candidate is
+//	            verified by forward navigation (exec.Reaches), paying
+//	            store pages only for candidates the indexed conjuncts
+//	            already narrowed down.
+//
+// Every leaf evaluation is recorded per path and kind (equality, range,
+// residual) in a stats.PredRecorder, and forwarded to sources that expose
+// engine.RecordPredicate — so workload snapshots, drift detection and
+// multi-path selection (ooindex.SelectMulti) see the conjunction traffic
+// the planner actually served, closing the loop CoPhy and on-the-fly
+// index-selection formulations assume (see PAPERS.md).
+//
+// Results are bit-identical to naive evaluation of the same predicate by
+// store scans (NaiveEval), enforced by a randomized differential gate.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+// Op discriminates leaf predicate operators.
+type Op uint8
+
+const (
+	// OpEq is A_n = Value along the leaf's path.
+	OpEq Op = iota
+	// OpRange is A_n IN [Lo, Hi) along the leaf's path.
+	OpRange
+)
+
+// Predicate is a node of the predicate AST: a Leaf, an AndNode or an
+// OrNode. Build predicates with Eq, Range, And and Or.
+type Predicate interface {
+	// String renders the predicate for diagnostics and explain output.
+	String() string
+	node()
+}
+
+// Leaf is one path predicate: an equality or half-open range test on the
+// ending attribute of Path.
+type Leaf struct {
+	Path *schema.Path
+	Op   Op
+	// Value is the equality operand (OpEq).
+	Value oodb.Value
+	// Lo and Hi bound the half-open range [Lo, Hi) (OpRange).
+	Lo, Hi oodb.Value
+}
+
+func (l *Leaf) node() {}
+
+func (l *Leaf) String() string {
+	if l.Path == nil {
+		return "<nil path>"
+	}
+	if l.Op == OpEq {
+		return fmt.Sprintf("%s = %s", l.Path, &l.Value)
+	}
+	return fmt.Sprintf("%s in [%s, %s)", l.Path, &l.Lo, &l.Hi)
+}
+
+// pred returns the value test the leaf encodes, shared by residual
+// verification and naive evaluation.
+func (l *Leaf) pred() func(oodb.Value) bool {
+	if l.Op == OpEq {
+		v := l.Value
+		return func(x oodb.Value) bool { return x.Equal(v) }
+	}
+	lo, hi := l.Lo, l.Hi
+	return func(x oodb.Value) bool {
+		return x.Kind == lo.Kind && x.Compare(lo) >= 0 && x.Compare(hi) < 0
+	}
+}
+
+// validate checks the leaf's shape.
+func (l *Leaf) validate() error {
+	if l.Path == nil {
+		return fmt.Errorf("plan: leaf with nil path")
+	}
+	if l.Op == OpRange && l.Lo.Kind != l.Hi.Kind {
+		return fmt.Errorf("plan: range bounds of different kinds on %s", l.Path)
+	}
+	return nil
+}
+
+// AndNode is the conjunction of its children.
+type AndNode struct{ Kids []Predicate }
+
+func (n *AndNode) node() {}
+
+func (n *AndNode) String() string { return renderKids("and", n.Kids) }
+
+// OrNode is the disjunction of its children.
+type OrNode struct{ Kids []Predicate }
+
+func (n *OrNode) node() {}
+
+func (n *OrNode) String() string { return renderKids("or", n.Kids) }
+
+func renderKids(op string, kids []Predicate) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, k := range kids {
+		if i > 0 {
+			b.WriteByte(' ')
+			b.WriteString(op)
+			b.WriteByte(' ')
+		}
+		b.WriteString(k.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Eq builds the leaf predicate A_n = v along p.
+func Eq(p *schema.Path, v oodb.Value) Predicate { return &Leaf{Path: p, Op: OpEq, Value: v} }
+
+// Range builds the leaf predicate A_n IN [lo, hi) along p.
+func Range(p *schema.Path, lo, hi oodb.Value) Predicate {
+	return &Leaf{Path: p, Op: OpRange, Lo: lo, Hi: hi}
+}
+
+// And conjoins predicates, flattening nested conjunctions. And of one
+// predicate is that predicate.
+func And(kids ...Predicate) Predicate {
+	flat := flatten[*AndNode](kids)
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &AndNode{Kids: flat}
+}
+
+// Or disjoins predicates, flattening nested disjunctions. Or of one
+// predicate is that predicate.
+func Or(kids ...Predicate) Predicate {
+	flat := flatten[*OrNode](kids)
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &OrNode{Kids: flat}
+}
+
+// flatten inlines children of the same node type T one level deep (the
+// constructors apply it recursively, so trees built through them are
+// fully flattened).
+func flatten[T Predicate](kids []Predicate) []Predicate {
+	out := make([]Predicate, 0, len(kids))
+	for _, k := range kids {
+		if same, ok := k.(T); ok {
+			switch n := Predicate(same).(type) {
+			case *AndNode:
+				out = append(out, n.Kids...)
+			case *OrNode:
+				out = append(out, n.Kids...)
+			}
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}

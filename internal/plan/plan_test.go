@@ -1,0 +1,417 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+// testWorld is a randomly populated paper-schema store plus the four
+// paths the planner tests predicate over, all containing Person at
+// level 1.
+type testWorld struct {
+	st    *oodb.Store
+	paths []*schema.Path
+	// value pools per path index, for generating mostly-hitting operands
+	pools [][]oodb.Value
+}
+
+var paperOrgs = []cost.Organization{cost.MX, cost.MIX, cost.NIX, cost.PX}
+
+func buildWorld(t *testing.T, seed int64) *testWorld {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := schema.PaperSchema()
+	st, err := oodb.NewStore(s, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := func(class string, attrs map[string][]oodb.Value) oodb.OID {
+		oid, err := st.Insert(class, attrs)
+		if err != nil {
+			t.Fatalf("insert %s: %v", class, err)
+		}
+		return oid
+	}
+	divNames := make([]oodb.Value, 10)
+	for i := range divNames {
+		divNames[i] = oodb.StrV(fmt.Sprintf("dv-%02d", i))
+	}
+	compNames := make([]oodb.Value, 8)
+	for i := range compNames {
+		compNames[i] = oodb.StrV(fmt.Sprintf("co-%02d", i))
+	}
+	colors := []oodb.Value{oodb.StrV("red"), oodb.StrV("blue"), oodb.StrV("green"), oodb.StrV("grey")}
+
+	var divs, comps, vehs []oodb.OID
+	for i := 0; i < 25+rng.Intn(15); i++ {
+		divs = append(divs, ins("Division", map[string][]oodb.Value{
+			"name": {divNames[rng.Intn(len(divNames))]},
+		}))
+	}
+	for i := 0; i < 12+rng.Intn(8); i++ {
+		refs := []oodb.Value{}
+		for _, di := range rng.Perm(len(divs))[:1+rng.Intn(3)] {
+			refs = append(refs, oodb.RefV(divs[di]))
+		}
+		comps = append(comps, ins("Company", map[string][]oodb.Value{
+			"name": {compNames[rng.Intn(len(compNames))]},
+			"divs": refs,
+		}))
+	}
+	for i := 0; i < 40+rng.Intn(20); i++ {
+		cls := []string{"Vehicle", "Bus", "Truck"}[rng.Intn(3)]
+		vehs = append(vehs, ins(cls, map[string][]oodb.Value{
+			"color": {colors[rng.Intn(len(colors))]},
+			"man":   {oodb.RefV(comps[rng.Intn(len(comps))])},
+		}))
+	}
+	ages := make([]oodb.Value, 0, 8)
+	for a := int64(20); a < 60; a += 5 {
+		ages = append(ages, oodb.IntV(a))
+	}
+	for i := 0; i < 60+rng.Intn(30); i++ {
+		owns := []oodb.Value{}
+		for _, vi := range rng.Perm(len(vehs))[:rng.Intn(3)] {
+			owns = append(owns, oodb.RefV(vehs[vi]))
+		}
+		ins("Person", map[string][]oodb.Value{
+			"age":  {ages[rng.Intn(len(ages))]},
+			"owns": owns,
+		})
+	}
+	return &testWorld{
+		st: st,
+		paths: []*schema.Path{
+			schema.MustNewPath(s, "Person", "age"),
+			schema.MustNewPath(s, "Person", "owns", "color"),
+			schema.MustNewPath(s, "Person", "owns", "man", "name"),
+			schema.MustNewPath(s, "Person", "owns", "man", "divs", "name"),
+		},
+		pools: [][]oodb.Value{ages, colors, compNames, divNames},
+	}
+}
+
+// randomConfig covers [1..n] with one or two subpath assignments of
+// random supported organizations.
+func randomConfig(rng *rand.Rand, n int) core.Configuration {
+	org := func() cost.Organization { return paperOrgs[rng.Intn(len(paperOrgs))] }
+	if n >= 2 && rng.Intn(2) == 0 {
+		cut := 1 + rng.Intn(n-1)
+		return core.Configuration{Assignments: []core.Assignment{
+			{A: 1, B: cut, Org: org()},
+			{A: cut + 1, B: n, Org: org()},
+		}}
+	}
+	return core.Configuration{Assignments: []core.Assignment{{A: 1, B: n, Org: org()}}}
+}
+
+// randomPlanner registers a random subset of the world's paths (each
+// with probability 3/4, at least one) behind randomly configured
+// executors, leaving the rest unindexed so residual and scan fallbacks
+// are exercised.
+func randomPlanner(t *testing.T, w *testWorld, rng *rand.Rand) *Planner {
+	t.Helper()
+	pl := NewPlanner(w.st)
+	registered := 0
+	for _, p := range w.paths {
+		if rng.Intn(4) == 0 && registered > 0 {
+			continue
+		}
+		cfg := randomConfig(rng, p.Len())
+		c, err := exec.NewConfigured(w.st, p, cfg, 2048)
+		if err != nil {
+			t.Fatalf("configure %s with %v: %v", p, cfg, err)
+		}
+		if err := pl.Register(p, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		registered++
+	}
+	return pl
+}
+
+// randomPred builds a random predicate tree of bounded depth over the
+// world's paths. Operands mostly hit the live value pools, sometimes
+// miss deliberately.
+func (w *testWorld) randomPred(rng *rand.Rand, depth int) Predicate {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		pi := rng.Intn(len(w.paths))
+		p, pool := w.paths[pi], w.pools[pi]
+		if rng.Intn(3) == 0 { // range leaf
+			a, b := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+			if a.Compare(b) > 0 {
+				a, b = b, a
+			}
+			return Range(p, a, b)
+		}
+		v := pool[rng.Intn(len(pool))]
+		if rng.Intn(6) == 0 {
+			v = oodb.StrV("no-such-value")
+		}
+		return Eq(p, v)
+	}
+	n := 2 + rng.Intn(2)
+	kids := make([]Predicate, n)
+	for i := range kids {
+		kids[i] = w.randomPred(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return And(kids...)
+	}
+	return Or(kids...)
+}
+
+// TestPlannerDifferential is the tentpole gate: across randomized data,
+// index configurations and predicate trees, the planner's answer is
+// bit-identical to naive evaluation of the same predicate by store
+// scans.
+func TestPlannerDifferential(t *testing.T) {
+	for trial := int64(0); trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1000 + trial))
+			w := buildWorld(t, 500+trial)
+			pl := randomPlanner(t, w, rng)
+			for q := 0; q < 40; q++ {
+				pred := w.randomPred(rng, 2)
+				hier := rng.Intn(2) == 0
+				opts := Options{DeclaredOrder: rng.Intn(4) == 0}
+				p, err := pl.PlanOpts(pred, "Person", hier, opts)
+				if err != nil {
+					t.Fatalf("plan %s: %v", pred, err)
+				}
+				got, err := p.Execute()
+				if err != nil {
+					t.Fatalf("execute %s: %v", pred, err)
+				}
+				want, err := NaiveEval(w.st, pred, "Person", hier)
+				if err != nil {
+					t.Fatalf("naive %s: %v", pred, err)
+				}
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("divergence on %s (hier=%v):\nplanner: %v\nnaive:   %v\nplan:\n%s",
+						pred, hier, got, want, p.Explain())
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerDeepTarget checks targets below level 1: the same predicate
+// answered for Company and for Vehicle (with subclasses) stays
+// bit-identical to naive evaluation.
+func TestPlannerDeepTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := buildWorld(t, 7)
+	pl := randomPlanner(t, w, rng)
+	pComp, pDiv := w.paths[2], w.paths[3]
+	preds := []Predicate{
+		Eq(pComp, w.pools[2][0]),
+		And(Eq(pComp, w.pools[2][1]), Eq(pDiv, w.pools[3][2])),
+		Or(Eq(pDiv, w.pools[3][0]), Range(pDiv, w.pools[3][1], w.pools[3][5])),
+	}
+	for _, target := range []string{"Company", "Vehicle"} {
+		for _, hier := range []bool{false, true} {
+			for _, pred := range preds {
+				got, err := pl.Query(pred, target, hier)
+				if err != nil {
+					t.Fatalf("%s for %s: %v", pred, target, err)
+				}
+				want, err := NaiveEval(w.st, pred, target, hier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(oodb.SortUnique(got), want) {
+					t.Fatalf("divergence on %s for %s (hier=%v): got %v want %v", pred, target, hier, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectivityOrdering checks that observed cardinalities reorder the
+// conjunct probes: after traffic, the selective company-name probe must
+// run before the unselective age probe.
+func TestSelectivityOrdering(t *testing.T) {
+	w := buildWorld(t, 11)
+	pl := NewPlanner(w.st)
+	pAge, pComp := w.paths[0], w.paths[2]
+	for _, p := range []*schema.Path{pAge, pComp} {
+		c, err := exec.NewConfigured(w.st, p, core.Configuration{
+			Assignments: []core.Assignment{{A: 1, B: p.Len(), Org: cost.NIX}},
+		}, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Register(p, c, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the observed cardinalities: age is ~N/8, company name is far
+	// more selective on this data.
+	warm := And(Eq(pAge, w.pools[0][0]), Eq(pComp, w.pools[2][0]))
+	for i := 0; i < 5; i++ {
+		if _, err := pl.Query(warm, "Person", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Declare the unselective probe first; selectivity ordering must
+	// still probe company name first.
+	p, err := pl.Plan(And(Eq(pAge, w.pools[0][1]), Eq(pComp, w.pools[2][1])), "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p.Explain()
+	iComp := strings.Index(ex, "owns.man.name")
+	iAge := strings.Index(ex, "Person.age")
+	if iComp < 0 || iAge < 0 {
+		t.Fatalf("explain missing probes:\n%s", ex)
+	}
+	if iComp > iAge {
+		t.Fatalf("expected selective company probe ordered first:\n%s", ex)
+	}
+	// Declared order must suppress the reordering.
+	p, err = pl.PlanOpts(And(Eq(pAge, w.pools[0][1]), Eq(pComp, w.pools[2][1])), "Person", false, Options{DeclaredOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = p.Explain()
+	if strings.Index(ex, "Person.age") > strings.Index(ex, "owns.man.name") {
+		t.Fatalf("declared order not preserved:\n%s", ex)
+	}
+}
+
+// TestResidualPostFilter checks that a conjunct over an unregistered
+// path is planned as a post-filter (not a scan) and recorded as residual
+// traffic.
+func TestResidualPostFilter(t *testing.T) {
+	w := buildWorld(t, 13)
+	pl := NewPlanner(w.st)
+	pComp, pColor := w.paths[2], w.paths[1]
+	c, err := exec.NewConfigured(w.st, pComp, core.Configuration{
+		Assignments: []core.Assignment{{A: 1, B: pComp.Len(), Org: cost.NIX}},
+	}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Register(pComp, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	pred := And(Eq(pColor, w.pools[1][0]), Eq(pComp, w.pools[2][0]))
+	p, err := pl.Plan(pred, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := p.Explain(); !strings.Contains(ex, "filter") || !strings.Contains(ex, "residual") {
+		t.Fatalf("expected residual filter in plan:\n%s", ex)
+	}
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NaiveEval(w.st, pred, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oodb.SortUnique(append([]oodb.OID(nil), got...)), want) {
+		t.Fatalf("residual divergence: got %v want %v", got, want)
+	}
+	loads := pl.Predicates()
+	var sawResidual, sawEq bool
+	for _, l := range loads {
+		if l.Path == pColor.String() && l.Residual > 0 {
+			sawResidual = true
+		}
+		if l.Path == pComp.String() && l.Eq > 0 {
+			sawEq = true
+		}
+	}
+	if !sawResidual || !sawEq {
+		t.Fatalf("predicate mix not recorded: %+v", loads)
+	}
+}
+
+// TestPlanErrors checks plan-time validation.
+func TestPlanErrors(t *testing.T) {
+	w := buildWorld(t, 17)
+	pl := randomPlanner(t, w, rand.New(rand.NewSource(17)))
+	if _, err := pl.Plan(nil, "Person", false); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+	if _, err := pl.Plan(&AndNode{}, "Person", false); err == nil {
+		t.Fatal("empty conjunction accepted")
+	}
+	if _, err := pl.Plan(&OrNode{}, "Person", false); err == nil {
+		t.Fatal("empty disjunction accepted")
+	}
+	if _, err := pl.Plan(Eq(w.paths[0], oodb.IntV(1)), "Division", false); err == nil {
+		t.Fatal("target outside path scope accepted")
+	}
+	if _, err := pl.Plan(Range(w.paths[0], oodb.IntV(1), oodb.StrV("x")), "Person", false); err == nil {
+		t.Fatal("mixed-kind range accepted")
+	}
+	if _, err := pl.Plan(&Leaf{}, "Person", false); err == nil {
+		t.Fatal("nil-path leaf accepted")
+	}
+}
+
+// TestExecuteValues checks attribute projection over the match set.
+func TestExecuteValues(t *testing.T) {
+	w := buildWorld(t, 19)
+	pl := randomPlanner(t, w, rand.New(rand.NewSource(19)))
+	p, err := pl.Plan(Range(w.paths[0], oodb.IntV(20), oodb.IntV(40)), "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := p.ExecuteValues("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) == 0 {
+		t.Fatal("no projected values")
+	}
+	for _, v := range vals {
+		if v.Kind != oodb.IntVal || v.Int < 20 || v.Int >= 40 {
+			t.Fatalf("projected value %v outside queried range", &v)
+		}
+	}
+}
+
+// TestConstructorFlattening checks And/Or nesting collapse.
+func TestConstructorFlattening(t *testing.T) {
+	w := buildWorld(t, 23)
+	a := Eq(w.paths[0], oodb.IntV(20))
+	b := Eq(w.paths[1], oodb.StrV("red"))
+	c := Eq(w.paths[2], oodb.StrV("co-00"))
+	if got := And(a); got != a {
+		t.Fatal("And of one predicate should be that predicate")
+	}
+	if got := Or(b); got != b {
+		t.Fatal("Or of one predicate should be that predicate")
+	}
+	n, ok := And(And(a, b), c).(*AndNode)
+	if !ok || len(n.Kids) != 3 {
+		t.Fatalf("nested And not flattened: %v", n)
+	}
+	o, ok := Or(Or(a, b), c).(*OrNode)
+	if !ok || len(o.Kids) != 3 {
+		t.Fatalf("nested Or not flattened: %v", o)
+	}
+	// Mixed nesting must not flatten across operators.
+	m, ok := And(Or(a, b), c).(*AndNode)
+	if !ok || len(m.Kids) != 2 {
+		t.Fatalf("And(Or(a,b), c) should keep the Or intact: %v", m)
+	}
+}

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+)
+
+// TestPlanDuringReconfigure executes conjunctive plans over live engine
+// sources while both engines' index configurations are swapped
+// underneath — the planner must stay race-clean (run with -race) and
+// every answer must match naive evaluation taken on the same static
+// data.
+func TestPlanDuringReconfigure(t *testing.T) {
+	w := buildWorld(t, 31)
+	pAge, pComp := w.paths[0], w.paths[2]
+	mk := func(p *schema.Path) *engine.Engine {
+		e, err := engine.New(w.st, p, core.Configuration{
+			Assignments: []core.Assignment{{A: 1, B: p.Len(), Org: cost.NIX}},
+		}, 2048, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	eAge, eComp := mk(pAge), mk(pComp)
+	pl := NewPlanner(w.st)
+	if err := pl.Register(pAge, eAge, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Register(pComp, eComp, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pred := And(Eq(pAge, w.pools[0][0]), Eq(pComp, w.pools[2][0]))
+	want, err := NaiveEval(w.st, pred, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 64)
+	stop := make(chan struct{})
+
+	// Reconfigurers: flip each engine between whole-path organizations
+	// until the executors are done.
+	var reconf sync.WaitGroup
+	for _, e := range []*engine.Engine{eAge, eComp} {
+		reconf.Add(1)
+		go func(e *engine.Engine) {
+			defer reconf.Done()
+			orgs := []cost.Organization{cost.MX, cost.NIX, cost.PX}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cfg := core.Configuration{Assignments: []core.Assignment{
+					{A: 1, B: e.Path().Len(), Org: orgs[i%len(orgs)]},
+				}}
+				if _, err := e.ApplyConfiguration(cfg); err != nil {
+					errc <- fmt.Errorf("apply: %w", err)
+					return
+				}
+			}
+		}(e)
+	}
+
+	// Executors: plan and run the conjunction continuously; every answer
+	// must be the static-data answer regardless of swap timing.
+	var execers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		execers.Add(1)
+		go func() {
+			defer execers.Done()
+			for i := 0; i < 150; i++ {
+				got, err := pl.Query(pred, "Person", false)
+				if err != nil {
+					errc <- fmt.Errorf("query: %w", err)
+					return
+				}
+				if !equalOIDs(got, want) {
+					errc <- fmt.Errorf("divergence mid-swap: got %v want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+
+	execers.Wait()
+	close(stop)
+	reconf.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func equalOIDs(a, b []oodb.OID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -44,6 +44,9 @@ type DurableOptions struct {
 	// OIDStride are overridden per shard — the facade owns the strided
 	// OID allocation — and must be left zero.
 	Engine engine.DurableOptions
+	// DisablePruning turns off summary-based shard pruning, as
+	// Options.DisablePruning does for an in-memory deployment.
+	DisablePruning bool
 }
 
 // shardsManifest is the JSON SHARDS contents.
@@ -123,6 +126,9 @@ func OpenShardedDurable(dir string, s *schema.Schema, p *schema.Path, cfg core.C
 	for i, e := range engines {
 		db.stores[i] = e.Store()
 	}
+	// Summaries are in-memory only: recovery replays the stores, and
+	// finishInit rebuilds the summaries from the recovered contents.
+	db.finishInit(opts.DisablePruning)
 	return db, nil
 }
 

@@ -80,6 +80,11 @@ type Options struct {
 	// these shared settings. Per-shard divergence comes from the traffic,
 	// not the options.
 	Engine engine.Options
+	// DisablePruning turns off summary-based shard pruning: every value
+	// query descends into every shard, as if the summaries did not
+	// exist. Summaries are still maintained (so flipping the switch is a
+	// pure read-path change, the control arm of experiment E6 relies on).
+	DisablePruning bool
 }
 
 // DB is an OID-hash-partitioned database: N independent lifecycle
@@ -91,6 +96,18 @@ type DB struct {
 	shards []*engine.Engine
 	stores []*oodb.Store
 	rr     atomic.Uint64 // round-robin cursor for reference-free inserts
+
+	// sums holds the per-shard ending-value summaries (see summary.go);
+	// pruneOff disables consulting them on the query path. probed and
+	// pruned count shard descents executed and skipped by the summaries.
+	sums     *summaries
+	pruneOff bool
+	probed   atomic.Uint64
+	pruned   atomic.Uint64
+
+	// preds records the facade-level predicate mix when the database
+	// serves as a planner source (plan.PredicateSink).
+	preds *stats.PredRecorder
 }
 
 // NewStores creates n empty stores over the schema whose OID sequences
@@ -155,7 +172,17 @@ func Open(stores []*oodb.Store, p *schema.Path, cfg core.Configuration, pageSize
 		}
 		db.shards[i] = e
 	}
+	db.finishInit(opts.DisablePruning)
 	return db, nil
+}
+
+// finishInit builds the per-shard summaries from the stores' current
+// contents and the facade-level recorders — shared by Open and
+// OpenShardedDurable.
+func (db *DB) finishInit(disablePruning bool) {
+	db.sums = newSummaries(db.path, db.stores)
+	db.pruneOff = disablePruning
+	db.preds = stats.NewPredRecorder()
 }
 
 // NumShards returns the number of shards.
@@ -219,7 +246,11 @@ func (db *DB) Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, err
 	if target < 0 {
 		target = int((db.rr.Add(1) - 1) % uint64(len(db.shards)))
 	}
-	return db.shards[target].Insert(class, attrs)
+	oid, err := db.shards[target].Insert(class, attrs)
+	if err == nil {
+		db.sums.noteWrite(target, class, attrs)
+	}
+	return oid, err
 }
 
 // InsertAt stores a new object on an explicit shard — how a caller
@@ -237,7 +268,11 @@ func (db *DB) InsertAt(i int, class string, attrs map[string][]oodb.Value) (oodb
 	if target >= 0 && target != i {
 		return 0, fmt.Errorf("%w: attributes reference shard %d, object placed on shard %d", ErrCrossShard, target, i)
 	}
-	return db.shards[i].Insert(class, attrs)
+	oid, err := db.shards[i].Insert(class, attrs)
+	if err == nil {
+		db.sums.noteWrite(i, class, attrs)
+	}
+	return oid, err
 }
 
 // Get fetches an object from the shard holding it, counting the page
@@ -258,7 +293,23 @@ func (db *DB) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
 	if target >= 0 && target != s {
 		return fmt.Errorf("%w: update of object %d (shard %d) references shard %d", ErrCrossShard, oid, s, target)
 	}
-	return db.shards[s].Update(oid, attrs)
+	if err := db.shards[s].Update(oid, attrs); err != nil {
+		return err
+	}
+	db.noteUpdate(s, oid, attrs)
+	return nil
+}
+
+// noteUpdate feeds an applied update's new ending values into the
+// owning shard's summary. The class comes from a lock-only Peek — no
+// page accounting, the update itself already paid for the object.
+func (db *DB) noteUpdate(s int, oid oodb.OID, attrs map[string][]oodb.Value) {
+	if _, ok := attrs[db.sums.endAttr]; !ok {
+		return
+	}
+	if obj, ok := db.stores[s].Peek(oid); ok {
+		db.sums.noteWrite(s, obj.Class, attrs)
+	}
 }
 
 // Delete removes an object, routed by OID.
@@ -276,7 +327,13 @@ func (db *DB) Delete(oid oodb.OID) error {
 func (db *DB) UpdateBatch(ups []exec.Update) []error {
 	n := len(db.shards)
 	if n == 1 {
-		return db.shards[0].UpdateBatch(ups)
+		errs := db.shards[0].UpdateBatch(ups)
+		for i, u := range ups {
+			if errs[i] == nil {
+				db.noteUpdate(0, u.OID, u.Attrs)
+			}
+		}
+		return errs
 	}
 	parts, pos := exec.SplitUpdates(ups, n, db.ShardOf)
 	perShard := make([][]error, n)
@@ -305,6 +362,11 @@ func (db *DB) UpdateBatch(ups []exec.Update) []error {
 	}
 	errs := make([]error, len(ups))
 	exec.ScatterErrors(errs, pos, perShard)
+	for i, u := range ups {
+		if errs[i] == nil {
+			db.noteUpdate(db.ShardOf(u.OID), u.OID, u.Attrs)
+		}
+	}
 	return errs
 }
 
@@ -318,30 +380,45 @@ func (db *DB) spawnFanOut() bool {
 	return len(db.shards) > 1 && runtime.GOMAXPROCS(0) > 1
 }
 
-// fanOut runs f against every shard — shard 0 on the calling goroutine,
-// the rest on their own when parallelism is available — and merges the
-// per-shard OID sets, which are disjoint sorted runs, into one sorted
-// result. The first error in shard order wins, deterministically.
-func (db *DB) fanOut(f func(e *engine.Engine) ([]oodb.OID, error)) ([]oodb.OID, error) {
-	if len(db.shards) == 1 {
-		return f(db.shards[0])
+// fanOut runs f against every shard whose summary admits the probe —
+// keep(s) false means shard s provably cannot match and is skipped
+// without a descent — shard 0's (or the first kept shard's) probe on
+// the calling goroutine, the rest on their own when parallelism is
+// available. The per-shard OID sets, disjoint sorted runs, merge into
+// one sorted result. The first error in shard order wins,
+// deterministically. keep == nil keeps every shard.
+func (db *DB) fanOut(keep func(s int) bool, f func(e *engine.Engine) ([]oodb.OID, error)) ([]oodb.OID, error) {
+	live := make([]int, 0, len(db.shards))
+	for s := range db.shards {
+		if keep != nil && !keep(s) {
+			db.pruned.Add(1)
+			continue
+		}
+		live = append(live, s)
 	}
-	results := make([][]oodb.OID, len(db.shards))
-	errs := make([]error, len(db.shards))
+	db.probed.Add(uint64(len(live)))
+	if len(live) == 0 {
+		return nil, nil
+	}
+	if len(live) == 1 {
+		return f(db.shards[live[0]])
+	}
+	results := make([][]oodb.OID, len(live))
+	errs := make([]error, len(live))
 	if db.spawnFanOut() {
 		var wg sync.WaitGroup
-		for s := 1; s < len(db.shards); s++ {
+		for i := 1; i < len(live); i++ {
 			wg.Add(1)
-			go func(s int) {
+			go func(i int) {
 				defer wg.Done()
-				results[s], errs[s] = f(db.shards[s])
-			}(s)
+				results[i], errs[i] = f(db.shards[live[i]])
+			}(i)
 		}
-		results[0], errs[0] = f(db.shards[0])
+		results[0], errs[0] = f(db.shards[live[0]])
 		wg.Wait()
 	} else {
-		for s, e := range db.shards {
-			results[s], errs[s] = f(e)
+		for i, s := range live {
+			results[i], errs[i] = f(db.shards[s])
 		}
 	}
 	for _, err := range errs {
@@ -349,34 +426,57 @@ func (db *DB) fanOut(f func(e *engine.Engine) ([]oodb.OID, error)) ([]oodb.OID, 
 			return nil, err
 		}
 	}
-	var out []oodb.OID
+	total := 0
 	for _, r := range results {
-		out = exec.MergeSortedOIDs(out, r)
+		total += len(r)
 	}
-	return out, nil
+	return exec.MergeKSortedOIDs(make([]oodb.OID, 0, total), results...), nil
 }
 
-// Query evaluates A_n = value for targetClass across every shard and
-// merges the answers — matching objects can live anywhere in the
-// partitioned OID space, so a value predicate consults all shards. The
-// merged result is sorted and duplicate-free, bit-identical to the same
-// query against a single engine holding all the objects.
+// keepEq returns the pruning filter for an equality probe, nil when
+// pruning is disabled.
+func (db *DB) keepEq(value oodb.Value) func(int) bool {
+	if db.pruneOff {
+		return nil
+	}
+	return func(s int) bool { return db.sums.per[s].MayMatchEq(value) }
+}
+
+// keepRange returns the pruning filter for a range probe, nil when
+// pruning is disabled.
+func (db *DB) keepRange(lo, hi oodb.Value) func(int) bool {
+	if db.pruneOff {
+		return nil
+	}
+	return func(s int) bool { return db.sums.per[s].MayMatchRange(lo, hi) }
+}
+
+// Query evaluates A_n = value for targetClass across every shard whose
+// summary admits the value and merges the answers — matching objects
+// can live anywhere in the partitioned OID space, but a shard whose
+// ending-value summary excludes the probed value provably holds no
+// match and is skipped (see summary.go; Options.DisablePruning restores
+// the unconditional fan-out). The merged result is sorted and
+// duplicate-free, bit-identical to the same query against a single
+// engine holding all the objects.
 func (db *DB) Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	return db.fanOut(func(e *engine.Engine) ([]oodb.OID, error) {
+	return db.fanOut(db.keepEq(value), func(e *engine.Engine) ([]oodb.OID, error) {
 		return e.Query(value, targetClass, hierarchy)
 	})
 }
 
 // QueryRange evaluates A_n IN [lo, hi) for targetClass across every
-// shard, merging as Query does.
+// shard whose summarized value interval overlaps the range, merging as
+// Query does.
 func (db *DB) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error) {
-	return db.fanOut(func(e *engine.Engine) ([]oodb.OID, error) {
+	return db.fanOut(db.keepRange(lo, hi), func(e *engine.Engine) ([]oodb.OID, error) {
 		return e.QueryRange(lo, hi, targetClass, hierarchy)
 	})
 }
 
 // QueryBatch evaluates a batch of point probes: every shard answers the
-// whole batch against one snapshot of its own active configuration —
+// probes its summary admits (the whole batch with pruning disabled)
+// against one snapshot of its own active configuration —
 // shard-local worker pools intact, one fan-out per batch rather than
 // per probe — and the per-shard answers merge per probe. Results are in
 // probe order, each sorted and duplicate-free, bit-identical to the
@@ -386,29 +486,75 @@ func (db *DB) QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) 
 func (db *DB) QueryBatch(probes []exec.Probe) ([][]oodb.OID, error) {
 	n := len(db.shards)
 	if n == 1 {
+		db.probed.Add(uint64(len(probes)))
 		return db.shards[0].QueryBatch(probes)
+	}
+	// Per-shard sub-batches: a shard only sees the probes its summary
+	// admits; pruned (shard, probe) pairs keep a nil slot, which merges
+	// as an empty run.
+	sub := make([][]exec.Probe, n)
+	idx := make([][]int, n)
+	for s := 0; s < n; s++ {
+		if db.pruneOff {
+			sub[s] = probes
+			continue
+		}
+		for pi := range probes {
+			if db.sums.per[s].MayMatchEq(probes[pi].Value) {
+				sub[s] = append(sub[s], probes[pi])
+				idx[s] = append(idx[s], pi)
+			} else {
+				db.pruned.Add(1)
+			}
+		}
 	}
 	byShard := make([][][]oodb.OID, n)
 	errs := make([]error, n)
+	run := func(s int) {
+		if len(sub[s]) == 0 {
+			return
+		}
+		db.probed.Add(uint64(len(sub[s])))
+		res, err := db.shards[s].QueryBatch(sub[s])
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		if db.pruneOff {
+			byShard[s] = res
+			return
+		}
+		// Scatter the compacted sub-batch answers back to probe order.
+		full := make([][]oodb.OID, len(probes))
+		for i, pi := range idx[s] {
+			full[pi] = res[i]
+		}
+		byShard[s] = full
+	}
 	if db.spawnFanOut() {
 		var wg sync.WaitGroup
 		for s := 1; s < n; s++ {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				byShard[s], errs[s] = db.shards[s].QueryBatch(probes)
+				run(s)
 			}(s)
 		}
-		byShard[0], errs[0] = db.shards[0].QueryBatch(probes)
+		run(0)
 		wg.Wait()
 	} else {
-		for s, e := range db.shards {
-			byShard[s], errs[s] = e.QueryBatch(probes)
+		for s := 0; s < n; s++ {
+			run(s)
 		}
 	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	for s := range byShard {
+		if byShard[s] == nil {
+			byShard[s] = make([][]oodb.OID, len(probes))
 		}
 	}
 	return exec.MergeProbeResults(byShard), nil
@@ -442,8 +588,38 @@ func (db *DB) Reconfigure() ([]engine.Report, error) {
 		if err != nil {
 			return out, fmt.Errorf("shard %d: %w", i, err)
 		}
+		// The reconfiguration pass is the natural re-tightening point for
+		// the shard's summary: rebuild it from the store, shedding the
+		// over-approximation deletions have accumulated.
+		db.sums.per[i].rebuild(db.stores[i], db.path)
 	}
 	return out, nil
+}
+
+// RebuildSummaries rebuilds every shard's ending-value summary from its
+// store's current contents. Required after writing directly through a
+// shard's engine (db.Shard(i).Insert and friends bypass the facade's
+// summary maintenance); harmless any other time.
+func (db *DB) RebuildSummaries() {
+	for i, st := range db.stores {
+		db.sums.per[i].rebuild(st, db.path)
+	}
+}
+
+// PruneCounters returns the cumulative shard-descent accounting of the
+// value-query path: probed counts (shard, probe) descents actually
+// executed, pruned counts descents skipped because the shard's summary
+// excluded the probed value. Their sum is the descent count an
+// unpruned deployment would have paid.
+func (db *DB) PruneCounters() (probed, pruned uint64) {
+	return db.probed.Load(), db.pruned.Load()
+}
+
+// RecordPredicate counts one planner predicate-leaf evaluation against
+// the facade (plan.PredicateSink): the sharded database is one planner
+// source, so its predicate mix is facade-level, not per shard.
+func (db *DB) RecordPredicate(path string, kind stats.PredKind) {
+	db.preds.Record(path, kind)
 }
 
 // Configs returns the active configuration of every shard, in shard
@@ -469,11 +645,17 @@ func (db *DB) WorkloadSnapshots() []stats.Workload {
 
 // WorkloadSnapshot returns the fleet-wide roll-up of the per-shard
 // recorders. It aggregates shard-level work: a fanned-out value query
-// contributes one query per shard, because every shard served a probe
-// for it — the capacity-relevant count. Write operations, which route
-// to exactly one shard, each count once.
+// contributes one query per shard that served a probe for it — the
+// capacity-relevant count; shards the summaries pruned did no work and
+// record nothing. Write operations, which route to exactly one shard,
+// each count once. The facade's own predicate mix (planner traffic
+// against the database as a source) rides on the Predicates field.
 func (db *DB) WorkloadSnapshot() stats.Workload {
-	return stats.MergeWorkloads(db.WorkloadSnapshots()...)
+	w := stats.MergeWorkloads(db.WorkloadSnapshots()...)
+	if preds := db.preds.Snapshot(); len(preds) > 0 {
+		w.Predicates = stats.MergePredLoads(w.Predicates, preds)
+	}
+	return w
 }
 
 // DriftView is the aggregate drift over a sharded database: per-shard

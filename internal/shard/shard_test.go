@@ -159,8 +159,13 @@ func TestShardOpenValidatesStrides(t *testing.T) {
 func TestShardWorkloadRollupAndDrift(t *testing.T) {
 	db := newTestDB(t, 2)
 	values := populate(t, db)
-	// Queries fan out: every shard records each one. Writes route.
+	// Queries fan out to the shards whose summaries admit the value —
+	// each maker value lives on one shard, so querying both touches both
+	// shards. Writes route.
 	if _, err := db.Query(values[0], "Person", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(values[1], "Person", false); err != nil {
 		t.Fatal(err)
 	}
 	snaps := db.WorkloadSnapshots()

@@ -1,0 +1,221 @@
+package shard_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// newTestDBOpts is newTestDB with explicit shard options.
+func newTestDBOpts(t *testing.T, nShards int, opts shard.Options) *shard.DB {
+	t.Helper()
+	s := schema.PaperSchema()
+	p := schema.PaperPathOwnsManName()
+	db, err := shard.New(s, p, wholeNIX(p.Len()), 1024, nShards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestPruningEquivalence runs the same query mix against a pruned and an
+// unpruned deployment over identical data: answers must be bit-identical,
+// and the pruned one must actually skip shard descents.
+func TestPruningEquivalence(t *testing.T) {
+	pruned := newTestDBOpts(t, 4, shard.Options{})
+	control := newTestDBOpts(t, 4, shard.Options{DisablePruning: true})
+	var values []oodb.Value
+	for _, db := range []*shard.DB{pruned, control} {
+		values = populate(t, db)
+	}
+	probe := append([]oodb.Value{}, values...)
+	probe = append(probe, oodb.StrV("maker-none"), oodb.StrV("a-below"), oodb.StrV("z-above"))
+	for _, v := range probe {
+		got, err := pruned.Query(v, "Person", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := control.Query(v, "Person", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Query(%s): pruned %v, control %v", &v, got, want)
+		}
+	}
+	lo, hi := oodb.StrV("maker-1"), oodb.StrV("maker-3")
+	got, err := pruned.QueryRange(lo, hi, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := control.QueryRange(lo, hi, "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QueryRange: pruned %v, control %v", got, want)
+	}
+	probed, prunedN := pruned.PruneCounters()
+	if prunedN == 0 {
+		t.Fatalf("no shard descents pruned (probed %d)", probed)
+	}
+	cProbed, cPruned := control.PruneCounters()
+	if cPruned != 0 {
+		t.Fatalf("control pruned %d descents with pruning disabled", cPruned)
+	}
+	if cProbed <= probed {
+		t.Fatalf("control probed %d, pruned deployment %d — pruning saved nothing", cProbed, probed)
+	}
+}
+
+// TestPruningBatchEquivalence checks the batched probe path under
+// pruning against the unpruned control.
+func TestPruningBatchEquivalence(t *testing.T) {
+	pruned := newTestDBOpts(t, 4, shard.Options{})
+	control := newTestDBOpts(t, 4, shard.Options{DisablePruning: true})
+	var values []oodb.Value
+	for _, db := range []*shard.DB{pruned, control} {
+		values = populate(t, db)
+	}
+	probes := make([]exec.Probe, 0, len(values)+2)
+	for _, v := range values {
+		probes = append(probes, exec.Probe{Value: v, TargetClass: "Person"})
+	}
+	probes = append(probes,
+		exec.Probe{Value: oodb.StrV("maker-none"), TargetClass: "Person"},
+		exec.Probe{Value: values[0], TargetClass: "Vehicle", Hierarchy: true},
+	)
+	got, err := pruned.QueryBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := control.QueryBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) == 0 && len(want[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("probe %d: pruned %v, control %v", i, got[i], want[i])
+		}
+	}
+	if _, prunedN := pruned.PruneCounters(); prunedN == 0 {
+		t.Fatal("batch path pruned nothing")
+	}
+}
+
+// TestPruningSoundAfterWrites checks the over-approximation contract
+// under mutation: updates must be visible immediately, deletions must
+// never cause a missed match, and Reconfigure re-tightens.
+func TestPruningSoundAfterWrites(t *testing.T) {
+	db := newTestDBOpts(t, 2, shard.Options{})
+	populate(t, db)
+
+	// An in-place ending-value update must enter the summary before the
+	// next query: a fresh value on shard 0's company must be findable.
+	var comp oodb.OID
+	db.Store(0).ScanClass("Company", func(o *oodb.Object) bool { comp = o.OID; return false })
+	if err := db.Update(comp, map[string][]oodb.Value{"name": {oodb.StrV("maker-updated")}}); err != nil {
+		t.Fatal(err)
+	}
+	oids, err := db.Query(oodb.StrV("maker-updated"), "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) == 0 {
+		t.Fatal("updated ending value not found — summary missed an update")
+	}
+	// Same through the batched update path.
+	errs := db.UpdateBatch([]exec.Update{{OID: comp, Attrs: map[string][]oodb.Value{"name": {oodb.StrV("maker-batched")}}}})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if oids, err = db.Query(oodb.StrV("maker-batched"), "Person", false); err != nil || len(oids) == 0 {
+		t.Fatalf("batched update value not found (err %v)", err)
+	}
+
+	// Deleting never shrinks the summary mid-flight: the stale value
+	// yields an empty answer, not a missed or phantom match.
+	var person oodb.OID
+	db.Store(1).ScanClass("Person", func(o *oodb.Object) bool { person = o.OID; return false })
+	if err := db.Delete(person); err != nil {
+		t.Fatal(err)
+	}
+	if oids, err = db.Query(oodb.StrV("maker-1"), "Person", false); err != nil {
+		t.Fatal(err)
+	} else if len(oids) != 0 {
+		t.Fatalf("deleted person still matches: %v", oids)
+	}
+
+	// Writing around the facade goes stale until RebuildSummaries.
+	direct, err := db.Shard(0).Insert("Company", map[string][]oodb.Value{"name": {oodb.StrV("maker-direct")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Shard(0).Insert("Vehicle", map[string][]oodb.Value{"man": {oodb.RefV(direct)}}); err != nil {
+		t.Fatal(err)
+	}
+	db.RebuildSummaries()
+	if oids, err = db.Query(oodb.StrV("maker-direct"), "Vehicle", true); err != nil || len(oids) == 0 {
+		t.Fatalf("direct-write value not found after RebuildSummaries (err %v)", err)
+	}
+}
+
+// TestShardPredicateRecording checks the facade-level predicate mix
+// (plan.PredicateSink) rides on the fleet-wide workload snapshot.
+func TestShardPredicateRecording(t *testing.T) {
+	db := newTestDB(t, 2)
+	populate(t, db)
+	key := db.Path().String()
+	db.RecordPredicate(key, stats.PredEq)
+	db.RecordPredicate(key, stats.PredEq)
+	db.RecordPredicate(key, stats.PredRange)
+	w := db.WorkloadSnapshot()
+	if len(w.Predicates) != 1 {
+		t.Fatalf("predicates %+v", w.Predicates)
+	}
+	if p := w.Predicates[0]; p.Path != key || p.Eq != 2 || p.Range != 1 {
+		t.Fatalf("predicate load %+v", p)
+	}
+}
+
+// TestPruneCountersSkewed checks the headline claim on a skewed
+// workload: with per-shard disjoint value pools, probing one shard's
+// pool prunes all other shards' descents.
+func TestPruneCountersSkewed(t *testing.T) {
+	const n = 4
+	db := newTestDBOpts(t, n, shard.Options{})
+	values := populate(t, db)
+	const ops = 50
+	for i := 0; i < ops; i++ {
+		if _, err := db.Query(values[0], "Person", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probed, pruned := db.PruneCounters()
+	rate := float64(pruned) / float64(ops*(n-1))
+	if rate < 0.9 {
+		t.Fatalf("prune rate %.2f below 0.9 (probed %d, pruned %d)", rate, probed, pruned)
+	}
+	// And those prunes cost no correctness: shard 0's answer is intact.
+	oids, err := db.Query(values[0], "Person", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 1 {
+		t.Fatalf("expected a single match, got %v", oids)
+	}
+}

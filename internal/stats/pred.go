@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// PredKind classifies one planner predicate-leaf evaluation against a
+// path: an indexed equality probe, an indexed range probe, or a residual
+// — a leaf with no index source, answered by store navigation (the
+// post-filter of a conjunction, or a naive scan under a disjunction).
+type PredKind uint8
+
+const (
+	PredEq PredKind = iota
+	PredRange
+	PredResidual
+	numPredKinds
+)
+
+// PredLoad is one path's observed predicate-leaf mix.
+type PredLoad struct {
+	// Path renders the path the leaves probed (schema.Path.String()).
+	Path     string `json:"path"`
+	Eq       uint64 `json:"eq"`
+	Range    uint64 `json:"range"`
+	Residual uint64 `json:"residual"`
+}
+
+// Ops returns the total leaf evaluations against the path.
+func (p PredLoad) Ops() uint64 { return p.Eq + p.Range + p.Residual }
+
+// PredRecorder counts the live predicate mix per path — which paths the
+// planner's conjunctions and disjunctions actually touch, and whether
+// each touch was served by an index or fell back to store navigation.
+// The single-path class recorder cannot see this: a conjunction across
+// three paths records three class-level queries but loses which paths
+// co-occurred and which went unindexed. Recording is lock-free after a
+// path's first appearance (sync.Map lookup plus an atomic add), so it
+// can ride the planner's execution path.
+//
+// The residual column is the selection signal: a path with persistent
+// residual traffic is a path paying store navigation on every
+// conjunction — exactly the candidate SelectMulti should be given
+// statistics for.
+type PredRecorder struct {
+	m sync.Map // path string -> *predCell
+}
+
+type predCell struct {
+	counts [numPredKinds]atomic.Uint64
+}
+
+// NewPredRecorder returns an empty predicate recorder.
+func NewPredRecorder() *PredRecorder { return &PredRecorder{} }
+
+// Record counts one predicate-leaf evaluation against a path. Nil-safe.
+func (r *PredRecorder) Record(path string, kind PredKind) {
+	if r == nil || kind >= numPredKinds || path == "" {
+		return
+	}
+	c, ok := r.m.Load(path)
+	if !ok {
+		c, _ = r.m.LoadOrStore(path, &predCell{})
+	}
+	c.(*predCell).counts[kind].Add(1)
+}
+
+// Snapshot returns the per-path predicate loads, sorted by path for
+// deterministic output. Nil-safe; nil when nothing was recorded.
+func (r *PredRecorder) Snapshot() []PredLoad {
+	if r == nil {
+		return nil
+	}
+	var out []PredLoad
+	r.m.Range(func(k, v any) bool {
+		c := v.(*predCell)
+		out = append(out, PredLoad{
+			Path:     k.(string),
+			Eq:       c.counts[PredEq].Load(),
+			Range:    c.counts[PredRange].Load(),
+			Residual: c.counts[PredResidual].Load(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Reset zeroes all counters (paths stay registered). Nil-safe.
+func (r *PredRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.m.Range(func(_, v any) bool {
+		c := v.(*predCell)
+		for i := range c.counts {
+			c.counts[i].Store(0)
+		}
+		return true
+	})
+}
+
+// MergePredLoads sums predicate loads path-wise — the roll-up
+// MergeWorkloads applies to the Predicates field, also usable directly
+// to combine a planner's own recorder with engine-level ones. The result
+// is sorted by path.
+func MergePredLoads(loads ...[]PredLoad) []PredLoad {
+	pos := make(map[string]int)
+	var out []PredLoad
+	for _, ls := range loads {
+		for _, l := range ls {
+			i, ok := pos[l.Path]
+			if !ok {
+				i = len(out)
+				pos[l.Path] = i
+				out = append(out, PredLoad{Path: l.Path})
+			}
+			out[i].Eq += l.Eq
+			out[i].Range += l.Range
+			out[i].Residual += l.Residual
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -125,11 +125,17 @@ func (c ClassLoad) Ops() uint64 { return c.Queries + c.Inserts + c.Deletes + c.U
 // durable; both stay zero for an in-memory engine. They ride on the
 // workload snapshot so operators see I/O cost and operation mix in one
 // view (and roll up across shards the same way).
+// Predicates, when the engine serves as a planner source, carries the
+// observed multi-path predicate mix (per-path equality/range/residual
+// leaf counts) alongside the class-level triplet counts — so drift
+// consumers and SelectMulti see conjunctions over several paths, not
+// just single-path traffic.
 type Workload struct {
-	Total    uint64
-	Classes  []ClassLoad
-	Fsyncs   uint64
-	WALBytes uint64
+	Total      uint64
+	Classes    []ClassLoad
+	Fsyncs     uint64
+	WALBytes   uint64
+	Predicates []PredLoad
 }
 
 // Snapshot captures the current counters.
@@ -165,9 +171,13 @@ func MergeWorkloads(ws ...Workload) Workload {
 		class string
 	}
 	pos := make(map[cell]int)
+	var preds [][]PredLoad
 	for _, w := range ws {
 		out.Fsyncs += w.Fsyncs
 		out.WALBytes += w.WALBytes
+		if len(w.Predicates) > 0 {
+			preds = append(preds, w.Predicates)
+		}
 		for _, c := range w.Classes {
 			key := cell{c.Level, c.Class}
 			i, ok := pos[key]
@@ -183,6 +193,9 @@ func MergeWorkloads(ws ...Workload) Workload {
 			o.Updates += c.Updates
 			out.Total += c.Ops()
 		}
+	}
+	if len(preds) > 0 {
+		out.Predicates = MergePredLoads(preds...)
 	}
 	return out
 }
