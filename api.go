@@ -10,6 +10,8 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/netclient"
+	"repro/internal/netserver"
 	"repro/internal/oodb"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -158,6 +160,44 @@ const (
 // ErrCrossShard reports an insert or update whose references span
 // shards; a path instance must stay within one shard (see ShardedDB).
 var ErrCrossShard = shard.ErrCrossShard
+
+// Re-exported serving-tier types: the TCP server, its client, and the
+// wire-level error. The protocol is a length-prefixed, CRC-framed
+// binary format; see internal/wire and DESIGN.md §10.
+type (
+	// NetServer serves a Database or ShardedDB over TCP, coalescing
+	// concurrently-arriving requests into the engine's batch kernels
+	// (QueryBatch, UpdateBatch) so the zero-allocation serving path and
+	// the group-commit fsync amortization survive the socket boundary.
+	NetServer = netserver.Server
+	// NetServerOptions configure the server: the served path, the
+	// OID-to-class hook for workload recording, the coalescing window
+	// cap, and the per-request control arm for benchmarks.
+	NetServerOptions = netserver.Options
+	// NetBackend is what a NetServer serves; *Database and *ShardedDB
+	// both satisfy it.
+	NetBackend = netserver.Backend
+	// NetClient is the pipelining client: synchronous calls mirror the
+	// Database methods, Go-prefixed calls return a NetCall future so many
+	// requests share one round trip.
+	NetClient = netclient.Client
+	// NetCall is one in-flight pipelined request; Wait blocks for its
+	// response.
+	NetCall = netclient.Call
+	// RemoteError is a server-side error delivered over the wire; the
+	// connection remains usable after one.
+	RemoteError = netclient.RemoteError
+)
+
+// NewNetServer wraps a backend in a TCP server; start it with Listen
+// (or Serve) and stop it with Shutdown, which drains every request
+// already read from a socket before returning.
+func NewNetServer(be NetBackend, opts NetServerOptions) *NetServer {
+	return netserver.New(be, opts)
+}
+
+// DialNet connects to a NetServer (or a running ixserved).
+func DialNet(addr string) (*NetClient, error) { return netclient.Dial(addr) }
 
 // Re-exported planner types: conjunctive predicates over several
 // registered paths, compiled to selectivity-ordered probe plans.

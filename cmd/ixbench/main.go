@@ -26,6 +26,10 @@
 //	ixbench -run plan         # conjunctive planner: selectivity ordering
 //	                          # and shard-summary pruning (E6); emits
 //	                          # BENCH_plan.json
+//	ixbench -run net          # networked serving: pipelined binary
+//	                          # protocol with request coalescing vs the
+//	                          # embedded batch kernel (E7); emits
+//	                          # BENCH_net.json
 package main
 
 import (
@@ -56,6 +60,7 @@ var modes = []struct{ name, desc string }{
 	{"shard", "sharded serving throughput at 1/2/4/8 shards x 1/2/4/8 workers; emits BENCH_shard.json (E4)"},
 	{"durable", "durability cost: fsync policies, recovery time, cold-cache serving; emits BENCH_wal.json (E5)"},
 	{"plan", "conjunctive planner: selectivity ordering and shard-summary pruning; emits BENCH_plan.json (E6)"},
+	{"net", "networked serving: pipelined+coalesced wire protocol vs embedded at 1/8/64/256 connections; emits BENCH_net.json (E7)"},
 }
 
 func usage() {
@@ -89,16 +94,18 @@ func main() {
 	durableOut := flag.String("durable-out", "BENCH_wal.json", "output file for the durable experiment's JSON report")
 	planOps := flag.Int("plan-ops", 2000, "operations per arm in the plan experiment")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "output file for the plan experiment's JSON report")
+	netOps := flag.Int("net-ops", 2000, "operations per connection in the net experiment")
+	netOut := flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON report")
 	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut, *netOps, *netOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string, netOps int, netOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -241,6 +248,18 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 		}
 		fmt.Println(rep.Render())
 		if err := writeJSON(planOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("net") {
+		ran = true
+		section("E7 — networked serving: pipelining and request coalescing")
+		rep, err := experiments.RunNet(seed, []int{1, 8, 64, 256}, netOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if err := writeJSON(netOut, rep); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,245 @@
+// Command ixserved serves an index-selected object database over TCP.
+//
+// It opens (or generates) a database on the paper's Figure 7 path
+// Person.owns.man.divs.name, wraps it in the netserver coalescing
+// dispatcher, and serves the binary wire protocol until SIGINT/SIGTERM.
+// Shutdown is graceful: the listener closes, every request already read
+// off a socket is answered, the engines checkpoint, and the process
+// exits 0 — an acknowledged write is on disk when the prompt returns.
+//
+// Usage:
+//
+//	ixserved -addr :7070 -dir /var/lib/ixserved          # durable, single engine
+//	ixserved -addr :7070 -dir /var/lib/ixserved -shards 4 # durable, sharded
+//	ixserved -addr :7070 -seed 42 -scale 0.01            # in-memory, pre-generated
+//
+// With -dir the store is disk-backed (WAL + pager, crash-recoverable);
+// a fresh directory starts empty, an existing one recovers. Without
+// -dir the store lives in memory and is seeded from the Figure 7
+// statistics so there is something to query. -checkevery enables the
+// self-tuning loop: every N operations the server-side engine checks
+// workload drift against the model and reconfigures its indexes in the
+// background while connections keep flowing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/netserver"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "TCP address to listen on")
+	dir := flag.String("dir", "", "durable data directory (empty: in-memory, seeded from -seed/-scale)")
+	shards := flag.Int("shards", 0, "number of OID-partitioned shards (0: single engine)")
+	seed := flag.Int64("seed", 42, "seed for the in-memory generated database")
+	scale := flag.Float64("scale", 0.01, "scale factor for the in-memory generated database")
+	checkEvery := flag.Int("checkevery", 0, "check workload drift every N ops and auto-tune (0: off)")
+	maxBatch := flag.Int("maxbatch", 0, "coalescing window cap in requests (0: default)")
+	noCoalesce := flag.Bool("no-coalesce", false, "dispatch each request alone (benchmark control arm)")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *shards, *seed, *scale, *checkEvery, *maxBatch, *noCoalesce); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// backend is what ixserved needs beyond netserver.Backend: a close that
+// quiesces background work and (when durable) checkpoints.
+type backend interface {
+	netserver.Backend
+	Close() error
+}
+
+func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, maxBatch int, noCoalesce bool) error {
+	eopts := engine.Options{CheckEvery: uint64(checkEvery)}
+	cfg := func(p *schema.Path) core.Configuration {
+		return core.Configuration{Assignments: []core.Assignment{
+			{A: 1, B: p.Len(), Org: cost.NIX},
+		}}
+	}
+	pageSize := model.PaperParams().PageSize
+
+	var (
+		be      backend
+		p       *schema.Path
+		classOf func(oodb.OID) (string, bool)
+	)
+	switch {
+	case dir != "":
+		p = schema.PaperPathOwnsManDivsName()
+		s := p.Schema()
+		if shards > 1 {
+			db, err := shard.OpenShardedDurable(dir, s, p, cfg(p), pageSize, shards,
+				shard.DurableOptions{Engine: engine.DurableOptions{Options: eopts}})
+			if err != nil {
+				return err
+			}
+			be, classOf = db, shardClassOf(db)
+		} else {
+			e, err := engine.OpenDurable(dir, s, p, cfg(p), pageSize,
+				engine.DurableOptions{Options: eopts})
+			if err != nil {
+				return err
+			}
+			be, classOf = e, storeClassOf(e.Store())
+		}
+	default:
+		if shards > 1 {
+			p = schema.PaperPathOwnsManDivsName()
+			db, err := shard.New(p.Schema(), p, cfg(p), pageSize, shards,
+				shard.Options{Engine: eopts})
+			if err != nil {
+				return err
+			}
+			// The fan-in of a generated single-store graph cannot be
+			// partitioned (references must stay shard-local), so sharded
+			// in-memory serving populates per-shard trees directly.
+			if err := populateSharded(db, shards, scale, seed); err != nil {
+				return err
+			}
+			be, classOf = db, shardClassOf(db)
+			break
+		}
+		g, err := gen.Generate(model.Figure7Stats(), scale, seed)
+		if err != nil {
+			return err
+		}
+		p = g.Path
+		{
+			e, err := engine.New(g.Store, p, cfg(p), pageSize, eopts)
+			if err != nil {
+				return err
+			}
+			be, classOf = e, storeClassOf(e.Store())
+		}
+	}
+
+	srv := netserver.New(be, netserver.Options{
+		Path:              p,
+		ClassOf:           classOf,
+		MaxBatch:          maxBatch,
+		DisableCoalescing: noCoalesce,
+	})
+	lnAddr, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("ixserved: serving %s on %s (shards=%d durable=%v coalesce=%v)",
+		p, lnAddr, shards, dir != "", !noCoalesce)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("ixserved: %s — draining", got)
+
+	if err := srv.Shutdown(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	w := srv.Workload()
+	reqs, batches, coalesced := srv.CoalesceStats()
+	log.Printf("ixserved: served %d ops (%d requests in %d batches, %d coalesced)",
+		w.Total, reqs, batches, coalesced)
+	if err := be.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	log.Printf("ixserved: clean exit")
+	return nil
+}
+
+// storeClassOf adapts a store's Peek to the server's recording hook.
+func storeClassOf(st *oodb.Store) func(oodb.OID) (string, bool) {
+	return func(oid oodb.OID) (string, bool) {
+		o, ok := st.Peek(oid)
+		if !ok {
+			return "", false
+		}
+		return o.Class, true
+	}
+}
+
+// shardClassOf routes the lookup to the owning shard's store.
+func shardClassOf(db *shard.DB) func(oodb.OID) (string, bool) {
+	return func(oid oodb.OID) (string, bool) {
+		o, err := db.Get(oid)
+		if err != nil {
+			return "", false
+		}
+		return o.Class, true
+	}
+}
+
+// populateSharded fills each shard with its own Figure-7-shaped tree —
+// divisions named over the same "val-%05d" value pool the generator
+// uses, companies over divisions, vehicles over companies, persons over
+// vehicles — scaled down from the paper's cardinalities. References are
+// intra-shard by construction, which is what the OID-partitioned facade
+// requires.
+func populateSharded(db *shard.DB, shards int, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	count := func(n float64) int {
+		c := int(n * scale / float64(shards))
+		if c < 2 {
+			c = 2
+		}
+		return c
+	}
+	nDiv, nCo, nVeh, nPer := count(1000), count(1000), count(20000), count(200000)
+	distinct := count(1000) * shards
+	for s := 0; s < shards; s++ {
+		divs := make([]oodb.OID, nDiv)
+		for i := range divs {
+			v := oodb.StrV(fmt.Sprintf("val-%05d", rng.Intn(distinct)))
+			oid, err := db.InsertAt(s, "Division", map[string][]oodb.Value{"name": {v}})
+			if err != nil {
+				return err
+			}
+			divs[i] = oid
+		}
+		cos := make([]oodb.OID, nCo)
+		for i := range cos {
+			// Companies fan out to ~4 divisions, as in Figure 7.
+			refs := make([]oodb.Value, 0, 4)
+			for k := 0; k < 4; k++ {
+				refs = append(refs, oodb.RefV(divs[rng.Intn(nDiv)]))
+			}
+			oid, err := db.Insert("Company", map[string][]oodb.Value{"divs": refs})
+			if err != nil {
+				return err
+			}
+			cos[i] = oid
+		}
+		vehs := make([]oodb.OID, nVeh)
+		for i := range vehs {
+			oid, err := db.Insert("Vehicle", map[string][]oodb.Value{
+				"man": {oodb.RefV(cos[rng.Intn(nCo)])},
+			})
+			if err != nil {
+				return err
+			}
+			vehs[i] = oid
+		}
+		for i := 0; i < nPer; i++ {
+			if _, err := db.Insert("Person", map[string][]oodb.Value{
+				"owns": {oodb.RefV(vehs[rng.Intn(nVeh)])},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+// Command ixstress drives a multi-connection read/write mix against a
+// running ixserved and reports realized throughput and latency.
+//
+// It is the networked counterpart of experiment E2's serving mix: each
+// of -conns connections runs its own client with up to -depth requests
+// pipelined, issuing ~90% point queries split across the whole path
+// ("Person") and the ending level ("Division"), plus inserts and
+// deletes in the requested -write fraction. Per-request latency is
+// measured submit-to-response through the pipeline, so the report shows
+// what a caller would actually observe, coalescing included.
+//
+// Usage:
+//
+//	ixserved -addr 127.0.0.1:7070 &
+//	ixstress -addr 127.0.0.1:7070 -conns 64 -ops 2000 -depth 32 -write 0.1
+//
+// With -sync the pipeline is disabled — every request waits for its
+// response before the next is sent (one request per RTT), the control
+// arm that shows what pipelining and coalescing buy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netclient"
+	"repro/internal/oodb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	conns := flag.Int("conns", 8, "number of concurrent connections")
+	ops := flag.Int("ops", 2000, "operations per connection")
+	depth := flag.Int("depth", 32, "pipeline depth per connection")
+	write := flag.Float64("write", 0.1, "fraction of operations that are inserts/deletes")
+	values := flag.Int("values", 100, "distinct point-query values (val-00000..)")
+	seed := flag.Int64("seed", 1, "per-connection workload seed base")
+	sync_ := flag.Bool("sync", false, "one request per round trip (disables pipelining)")
+	flag.Parse()
+
+	rep, err := stress(*addr, *conns, *ops, *depth, *write, *values, *seed, *sync_)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+type result struct {
+	lats []time.Duration
+	errs int
+	err  error
+}
+
+// stress runs the fleet and renders the aggregate report.
+func stress(addr string, conns, ops, depth int, write float64, values int, seed int64, syncMode bool) (string, error) {
+	if syncMode {
+		depth = 1
+	}
+	results := make([]result, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = drive(addr, ops, depth, write, values, seed+int64(w))
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	total, failed := 0, 0
+	for w, r := range results {
+		if r.err != nil {
+			return "", fmt.Errorf("connection %d: %v", w, r.err)
+		}
+		all = append(all, r.lats...)
+		total += len(r.lats)
+		failed += r.errs
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	mode := "pipelined"
+	if syncMode {
+		mode = "sync (1 req/RTT)"
+	}
+	return fmt.Sprintf(
+		"ixstress: %d conns x %d ops, depth %d, %s, write %.0f%%\n"+
+			"  %d ops in %.2fs = %.0f ops/sec (%d server-side errors)\n"+
+			"  latency p50 %v  p99 %v  max %v\n",
+		conns, ops, depth, mode, 100*write,
+		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), failed,
+		all[len(all)/2].Round(time.Microsecond),
+		all[len(all)*99/100].Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond)), nil
+}
+
+// drive runs one connection's share of the workload: a sliding window
+// of up to `depth` in-flight requests, latency measured per request
+// from send to response.
+func drive(addr string, ops, depth int, write float64, values int, seed int64) result {
+	c, err := netclient.Dial(addr)
+	if err != nil {
+		return result{err: err}
+	}
+	defer c.Close() //nolint:errcheck
+
+	rng := rand.New(rand.NewSource(seed))
+	type inflight struct {
+		call   *netclient.Call
+		sent   time.Time
+		insert bool
+	}
+	var (
+		window []inflight
+		minted []oodb.OID
+		res    result
+	)
+	res.lats = make([]time.Duration, 0, ops)
+	settle := func(f inflight) {
+		oids, err := f.call.Wait()
+		res.lats = append(res.lats, time.Since(f.sent))
+		if err != nil {
+			res.errs++
+			return
+		}
+		if f.insert && len(oids) == 1 {
+			minted = append(minted, oids[0])
+		}
+	}
+	for i := 0; i < ops; i++ {
+		var f inflight
+		f.sent = time.Now()
+		switch {
+		case rng.Float64() < write:
+			// Writes alternate insert/delete so the store stays near its
+			// initial size across a long run.
+			if len(minted) > 0 && rng.Intn(2) == 0 {
+				oid := minted[len(minted)-1]
+				minted = minted[:len(minted)-1]
+				f.call = c.GoDelete(oid)
+			} else {
+				v := oodb.StrV(fmt.Sprintf("val-stress-%d-%06d", seed, i))
+				f.call = c.GoInsert("Division", map[string][]oodb.Value{"name": {v}})
+				f.insert = true
+			}
+		default:
+			v := oodb.StrV(fmt.Sprintf("val-%05d", rng.Intn(values)))
+			class, hier := "Person", false
+			if rng.Intn(10) < 3 {
+				class, hier = "Division", rng.Intn(2) == 0
+			}
+			f.call = c.GoQuery(v, class, hier)
+		}
+		window = append(window, f)
+		if len(window) >= depth {
+			settle(window[0])
+			window = window[1:]
+		}
+	}
+	for _, f := range window {
+		settle(f)
+	}
+	if err := c.Err(); err != nil {
+		res.err = err
+	}
+	return res
+}

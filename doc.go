@@ -233,6 +233,40 @@
 // skewed sharded workload — and writes BENCH_plan.json; DESIGN.md §9
 // records the design. See examples/planner for an end-to-end program.
 //
+// # Serving over the network
+//
+// NewNetServer puts any backend with the engine's serving surface — a
+// Database, a ShardedDB, an OpenStatic executor — behind a TCP server
+// speaking a pipelined binary protocol, and DialNet returns a client
+// for it. Frames are length-prefixed and CRC-framed exactly like the
+// WAL's records: a corrupt, truncated or oversized frame fails the
+// connection cleanly, never the server (fuzz-enforced). Responses carry
+// the request id, so a client keeps many calls in flight on one
+// connection — Query/Insert/Update/Delete block for one round trip;
+// GoQuery and friends return a Call future whose Wait collects later.
+//
+// The server is where the batch kernels survive the socket boundary:
+// per-connection readers decode into pooled request slots and feed
+// dispatchers (each connection pinned to one, so its requests are
+// served in arrival order); a dispatcher drains whatever has
+// concurrently accumulated — the coalescing window, self-sized because
+// the drain happens after the previous batch's execution — and serves
+// point-query runs with one QueryBatch descent and update runs with one
+// UpdateBatch, so on a durable backend group commit amortizes WAL
+// fsyncs across connections. A batch's responses are bundled into one
+// framed write per connection. The steady-state dispatch path holds a
+// fixed per-batch allocation budget (test-enforced), and every request
+// is recorded per class into the same workload machinery that drives
+// drift detection, so a served engine retunes itself exactly like an
+// embedded one. cmd/ixserved is the standalone server (durable or
+// in-memory, sharded or single, graceful drain on SIGINT/SIGTERM:
+// every request already read is answered, then the engines checkpoint
+// and the process exits 0); cmd/ixstress drives read/write mixes over
+// many connections. Experiment E7 (ixbench -run net) measures embedded
+// vs networked serving at 1/8/64/256 connections on engine-bound and
+// wire-bound read mixes and writes BENCH_net.json; DESIGN.md §10
+// records the protocol and the measured shape. See examples/netclient.
+//
 // See README.md for the repository map, the examples/ directory for
 // end-to-end programs, and DESIGN.md for the system inventory and the
 // paper-versus-measured experiment index.

@@ -562,15 +562,18 @@ func (d *durable) writeManifest(m manifest) error {
 	return nil
 }
 
-// Close checkpoints (so a clean shutdown reopens with an empty WAL) and
-// releases the engine's files. A no-op on an in-memory engine. Close on a
-// condemned engine (DurabilityErr non-nil) skips the checkpoint, closes
-// what it can, and returns the latched error.
+// Close quiesces background auto-tune work, checkpoints (so a clean
+// shutdown reopens with an empty WAL), and releases the engine's files.
+// An in-memory engine has no files but still quiesces — Close must not
+// strand a drift-triggered reconfiguration goroutine, or a server
+// churning through engines leaks them. Close on a condemned engine
+// (DurabilityErr non-nil) skips the checkpoint, closes what it can, and
+// returns the latched error.
 func (e *Engine) Close() error {
+	e.Quiesce()
 	if e.dur == nil {
 		return nil
 	}
-	e.Quiesce()
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	d := e.dur

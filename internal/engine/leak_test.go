@@ -1,0 +1,83 @@
+package engine_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/shard"
+)
+
+// TestCloseLeavesNoGoroutines churns engines and sharded databases with
+// auto-tuning enabled — so drift checks actually launch background
+// reconfiguration goroutines — closes them, and asserts the goroutine
+// count returns to baseline. The serving tier makes this a hard
+// requirement: a server opens and closes stores under churn, and a
+// goroutine stranded per Close is a leak that compounds forever.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		g, err := gen.Generate(model.Figure7Stats(), 0.01, int64(round+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Configuration{Assignments: []core.Assignment{
+			{A: 1, B: g.Path.Len(), Org: cost.NIX},
+		}}
+		// CheckEvery 1 with no assumed baseline means every operation
+		// checks drift and any observed traffic counts as maximal drift —
+		// the background reconfiguration path fires as hard as it can.
+		e, err := engine.New(g.Store, g.Path, cfg, model.PaperParams().PageSize, engine.Options{
+			CheckEvery: 1,
+			MinOps:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := e.Query(g.EndValues[i%len(g.EndValues)], "Person", false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		db, err := shard.New(g.Path.Schema(), g.Path, cfg, model.PaperParams().PageSize, 4,
+			shard.Options{Engine: engine.Options{CheckEvery: 1, MinOps: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			v := g.EndValues[i%len(g.EndValues)]
+			if _, err := db.Query(v, "Person", false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The runtime may take a moment to retire exiting goroutines; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d at baseline, %d after churn\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -386,6 +386,10 @@ func (s *IndexSet) QueryBatch(probes []Probe) ([][]oodb.OID, error) {
 	if workers > len(probes) {
 		workers = len(probes)
 	}
+	if max := (len(probes) + 7) / 8; workers > max {
+		workers = max // keep ~8 probes per worker: a feather-weight batch
+		// must not pay GOMAXPROCS goroutine spawns for microseconds of work
+	}
 	if workers <= 1 {
 		for i, pb := range probes {
 			r, err := s.queryProbe(pb, false)

@@ -1,0 +1,86 @@
+package netserver
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+	"repro/internal/wire"
+)
+
+// TestServeBatchPointReadAllocs pins the per-batch allocation budget of
+// the server's steady-state point-read path: a coalesced window of K
+// point queries through serveBatch — probe assembly, the QueryBatch
+// descent, response encoding, framing into pooled buffers — must stay
+// within a fixed budget that scales only with the result surface, like
+// the engine-level guards. The frame and task pools are what keep the
+// socket boundary from adding per-request garbage; this test is the
+// tripwire for losing that.
+func TestServeBatchPointReadAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	e, g := newTestEngine(t, 31)
+	s := New(e, Options{Path: g.Path})
+	d := newDispatcher(s)
+
+	const K = 64
+	// A connection whose writer is this test: responses queue into out
+	// and are drained back to the pool synchronously after each batch.
+	c := &conn{srv: s, out: make(chan *[]byte, 2*K)}
+	c.pending.Store(1 << 30) // never reaches zero; out stays open
+
+	person := s.intern([]byte("Person"))
+	division := s.intern([]byte("Division"))
+	tasks := make([]*task, K)
+	for i := range tasks {
+		tasks[i] = &task{}
+	}
+	fill := func() {
+		for i, tk := range tasks {
+			tk.conn = c
+			tk.req = wire.Request{
+				ID:    uint64(i),
+				Op:    wire.OpQuery,
+				Value: g.EndValues[i%len(g.EndValues)],
+			}
+			if i%2 == 0 {
+				tk.class = person
+			} else {
+				tk.class = division
+			}
+		}
+	}
+	drain := func() {
+		for {
+			select {
+			case bp := <-c.out:
+				s.bufPool.Put(bp)
+			default:
+				return
+			}
+		}
+	}
+
+	// Warm the pools and the engine's own scratch.
+	for i := 0; i < 3; i++ {
+		fill()
+		d.serveBatch(tasks)
+		drain()
+	}
+
+	avg := testing.AllocsPerRun(20, func() {
+		fill()
+		d.serveBatch(tasks)
+		drain()
+	})
+	// The engine's batch kernel owns ~8 allocations per probe (result
+	// slices and batch bookkeeping, see the exec-level guard); the wire
+	// tier is allowed a small constant on top — its buffers are pooled —
+	// plus one per request for the decoded value's string, which this
+	// test pre-decodes, so the whole path must sit under the same shape
+	// of budget.
+	budget := float64(12*K + 64)
+	if avg > budget {
+		t.Fatalf("serveBatch(%d point reads) allocates %.1f per batch, budget %.0f", K, avg, budget)
+	}
+}

@@ -1,0 +1,718 @@
+// Package netserver is the serving tier: a TCP server that puts the
+// engine's allocation-free batch kernels behind the internal/wire
+// protocol without giving up their performance. Its core mechanism is
+// adaptive request coalescing, a group-commit for serving: the first
+// request to reach the idle dispatcher opens a batching window, and
+// every request that arrives while that window's batch executes rides
+// the next one. Per-connection readers decode frames into pooled
+// request slots and feed a small pool of dispatchers, each connection
+// pinned to one dispatcher (affinity keeps the queues contention-free
+// and a connection's requests in order); an idle dispatcher drains
+// whatever has accumulated in its queue (up to MaxBatch), carves the
+// run into maximal same-opcode segments, and serves point-query
+// segments with one QueryBatch descent and update segments with one
+// UpdateBatch — so concurrently-arriving requests amortize index
+// descents, and on a durable backend writes amortize WAL fsyncs,
+// exactly as embedded batch callers do. The window needs no timer: its
+// width is the previous batch's execution time, so it self-adjusts —
+// near-zero added latency when idle, maximal batches under load. A
+// batch's responses are bundled per connection into one framed write,
+// so the writer wakes once per window, not once per request.
+//
+// Ordering. A connection's requests are served by its dispatcher in
+// arrival order, so pipelined requests on one connection observe each
+// other like sequential engine calls; requests on different
+// connections have no mutual order, as with concurrent embedded
+// callers. Responses carry the request id and the client matches them.
+//
+// Error isolation. A well-framed request that the engine rejects
+// answers that request with StatusErr and the engine's message; the
+// connection lives on. A broken frame (torn or corrupt — the WAL
+// posture) poisons the byte stream and closes the connection. One
+// request's engine error never fails another's: the batched query path
+// falls back to per-request serving when a batch carries a poisoned
+// probe, because the batch kernel reports one error for the whole
+// descent.
+package netserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/oodb"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Backend is what the server serves: the engine surface shared by
+// *engine.Engine and *shard.DB.
+type Backend interface {
+	Query(value oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error)
+	QueryRange(lo, hi oodb.Value, targetClass string, hierarchy bool) ([]oodb.OID, error)
+	QueryBatch(probes []exec.Probe) ([][]oodb.OID, error)
+	Insert(class string, attrs map[string][]oodb.Value) (oodb.OID, error)
+	Update(oid oodb.OID, attrs map[string][]oodb.Value) error
+	UpdateBatch(ups []exec.Update) []error
+	Delete(oid oodb.OID) error
+}
+
+// Options tunes a Server. The zero value serves correctly with
+// defaults; Path enables per-connection workload recording.
+type Options struct {
+	// Path enables per-connection workload recording against this
+	// indexed path: each connection gets its own stats.Recorder, so the
+	// drift machinery can distinguish tenant traffic. Nil disables
+	// recording.
+	Path *schema.Path
+
+	// ClassOf resolves an OID to its class for recording updates and
+	// deletes (the wire request carries only the OID). Typically
+	// store.Peek. Nil skips recording those ops.
+	ClassOf func(oodb.OID) (string, bool)
+
+	// MaxBatch caps how many requests one dispatch window may coalesce.
+	// Default 256.
+	MaxBatch int
+
+	// Dispatchers is how many dispatcher goroutines serve requests —
+	// the serving tier's parallelism, matching the concurrency an
+	// embedded caller would get from that many goroutines. Each
+	// connection is pinned to one dispatcher, so its requests are
+	// served in arrival order. Default min(GOMAXPROCS, 8).
+	Dispatchers int
+
+	// QueueDepth is the capacity of the dispatcher's request queue and
+	// of each connection's response queue. Default 1024.
+	QueueDepth int
+
+	// DisableCoalescing serves every request individually — the
+	// per-request dispatch baseline experiment E7 compares against.
+	DisableCoalescing bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = runtime.GOMAXPROCS(0)
+		if o.Dispatchers > 8 {
+			o.Dispatchers = 8
+		}
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// task is one decoded request travelling from a connection reader to
+// the dispatcher. Tasks are pooled; req's owned fields are overwritten
+// by the next decode and class is interned, so holding a task beyond
+// its response is the only misuse, and release guards it by clearing.
+type task struct {
+	conn  *conn
+	req   wire.Request
+	class string // interned copy of req.Class (which aliases a dead buffer)
+}
+
+// conn is one client connection: a reader goroutine feeding the shared
+// dispatcher, a writer goroutine draining the response queue, and a
+// workload recorder of its own.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	disp *dispatcher  // the dispatcher this connection is pinned to
+	out  chan *[]byte // framed responses; closed when reader is done and pending hits zero
+
+	pending    atomic.Int64 // tasks handed to the dispatcher, not yet answered
+	readerDone atomic.Bool
+	outOnce    sync.Once
+
+	rec *stats.Recorder // nil unless Options.Path is set
+}
+
+// closeOut closes the response queue exactly once: the writer drains
+// what remains, flushes, and tears the socket down.
+func (c *conn) closeOut() {
+	c.outOnce.Do(func() { close(c.out) })
+}
+
+// Server serves a Backend over TCP. Create with New, start with Listen
+// or Serve, stop with Shutdown.
+type Server struct {
+	be   Backend
+	opts Options
+
+	ln         net.Listener
+	mu         sync.Mutex // guards conns, retired, and intern misses
+	conns      map[*conn]struct{}
+	retired    stats.Workload                    // merged workloads of closed connections
+	classes    atomic.Pointer[map[string]string] // copy-on-write intern table
+	disps      []*dispatcher
+	nextDisp   atomic.Uint64 // round-robin connection-to-dispatcher assignment
+	taskPool   sync.Pool
+	bufPool    sync.Pool
+	acceptWG   sync.WaitGroup
+	readers    sync.WaitGroup
+	writers    sync.WaitGroup
+	dispatchWG sync.WaitGroup
+	started    atomic.Bool
+	closed     atomic.Bool
+	done       chan struct{}
+
+	// Coalescing counters, for E7 and observability.
+	nBatches   atomic.Uint64
+	nRequests  atomic.Uint64
+	nCoalesced atomic.Uint64
+}
+
+// New builds a server around be. Serve or Listen starts it.
+func New(be Backend, opts Options) *Server {
+	s := &Server{
+		be:    be,
+		opts:  opts.withDefaults(),
+		conns: make(map[*conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	empty := make(map[string]string)
+	s.classes.Store(&empty)
+	for i := 0; i < s.opts.Dispatchers; i++ {
+		s.disps = append(s.disps, newDispatcher(s))
+	}
+	s.taskPool.New = func() any { return new(task) }
+	s.bufPool.New = func() any { b := make([]byte, 0, 512); return &b }
+	return s
+}
+
+// Listen binds addr (TCP; ":0" picks a free port) and starts serving in
+// the background. It returns the bound address immediately; Shutdown is
+// safe to call as soon as it returns.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.prepare(ln); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go s.acceptLoop(ln) //nolint:errcheck // the accept-loop exit is owned by Shutdown
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown. It returns when the
+// accept loop exits; in-flight work is drained by Shutdown, not here.
+func (s *Server) Serve(ln net.Listener) error {
+	if err := s.prepare(ln); err != nil {
+		return err
+	}
+	return s.acceptLoop(ln)
+}
+
+// prepare transitions the server to started — synchronously, so the
+// waitgroups Shutdown waits on are registered before Listen or Serve
+// hands control back — and starts the dispatcher.
+func (s *Server) prepare(ln net.Listener) error {
+	if !s.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("netserver: already serving")
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for _, d := range s.disps {
+		s.dispatchWG.Add(1)
+		go d.run()
+	}
+	s.acceptWG.Add(1)
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) error {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn registers a connection and starts its reader and writer.
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{srv: s, nc: nc, out: make(chan *[]byte, s.opts.QueueDepth)}
+	c.disp = s.disps[s.nextDisp.Add(1)%uint64(len(s.disps))]
+	if s.opts.Path != nil {
+		c.rec = stats.NewRecorder(s.opts.Path)
+	}
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.readers.Add(1)
+	go s.readLoop(c)
+	s.writers.Add(1)
+	go s.writeLoop(c)
+}
+
+// intern returns the canonical string for a class name sitting in a
+// transient read buffer. The hot path is one atomic load and a map
+// lookup on a []byte key, which compiles to no allocation and takes no
+// lock — every reader goroutine hits it once per request. A miss copies
+// the whole table under the lock (copy-on-write), which only a fresh
+// class name pays; the table is capped so a hostile stream of names
+// cannot grow it without bound.
+func (s *Server) intern(b []byte) string {
+	m := *s.classes.Load()
+	if v, ok := m[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m = *s.classes.Load()
+	if cached, ok := m[v]; ok {
+		return cached
+	}
+	if len(m) >= 1024 {
+		return v
+	}
+	next := make(map[string]string, len(m)+1)
+	for k, val := range m {
+		next[k] = val
+	}
+	next[v] = v
+	s.classes.Store(&next)
+	return v
+}
+
+// record feeds one request into the connection's workload recorder.
+func (c *conn) record(t *task) {
+	if c.rec == nil {
+		return
+	}
+	switch t.req.Op {
+	case wire.OpQuery, wire.OpQueryRange:
+		c.rec.Record(t.class, stats.OpQuery)
+	case wire.OpInsert:
+		c.rec.Record(t.class, stats.OpInsert)
+	case wire.OpUpdate:
+		if cls, ok := c.classOf(t.req.OID); ok {
+			c.rec.Record(cls, stats.OpUpdate)
+		}
+	case wire.OpDelete:
+		if cls, ok := c.classOf(t.req.OID); ok {
+			c.rec.Record(cls, stats.OpDelete)
+		}
+	}
+}
+
+func (c *conn) classOf(oid oodb.OID) (string, bool) {
+	if c.srv.opts.ClassOf == nil {
+		return "", false
+	}
+	return c.srv.opts.ClassOf(oid)
+}
+
+// readLoop decodes frames off the socket and hands tasks to the shared
+// dispatcher. A framing error or EOF ends the loop; the writer tears
+// the socket down once every handed-off task has been answered.
+func (s *Server) readLoop(c *conn) {
+	defer s.readers.Done()
+	defer func() {
+		c.readerDone.Store(true)
+		if c.pending.Load() == 0 {
+			c.closeOut()
+		}
+	}()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	var err error
+	for {
+		buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			return // clean EOF, torn frame, or read deadline from Shutdown
+		}
+		t := s.taskPool.Get().(*task)
+		if derr := wire.DecodeRequest(buf, &t.req); derr != nil {
+			s.release(t)
+			// A well-framed but undecodable request gets an error reply if
+			// it carries an addressable id; past that the stream is
+			// untrustworthy, so the connection closes either way.
+			if id, ok := wire.PeekID(buf); ok {
+				s.sendPayload(c, wire.AppendError(nil, id, derr.Error()))
+			}
+			return
+		}
+		t.conn = c
+		t.class = s.intern(t.req.Class)
+		t.req.Class = nil // the alias dies with the next ReadFrame
+		c.record(t)
+		c.pending.Add(1)
+		c.disp.tasks <- t
+	}
+}
+
+// writeLoop drains the response queue to the socket through a buffered
+// writer, flushing whenever the queue goes empty — one syscall per
+// burst, not per response. On a write error it keeps draining (the
+// dispatcher must never block on a dead connection) without writing. It
+// owns the teardown: socket close and unregistration happen when the
+// queue closes.
+func (s *Server) writeLoop(c *conn) {
+	defer s.writers.Done()
+	defer s.removeConn(c)
+	defer c.nc.Close()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var werr error
+	for bp := range c.out {
+		if werr == nil {
+			if _, werr = bw.Write(*bp); werr == nil && len(c.out) == 0 {
+				werr = bw.Flush()
+			}
+		}
+		s.bufPool.Put(bp)
+	}
+	if werr == nil {
+		bw.Flush() //nolint:errcheck // the queue is closed; nothing left to report to
+	}
+}
+
+// removeConn unregisters a connection, folding its workload into the
+// retired merge so Workload() keeps counting closed tenants.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[c]; !ok {
+		return
+	}
+	delete(s.conns, c)
+	if c.rec != nil {
+		s.retired = stats.MergeWorkloads(s.retired, c.rec.Snapshot())
+	}
+}
+
+// sendPayload frames payload into a pooled buffer and queues it on the
+// connection. Called by the dispatcher (and by readers for undecodable
+// requests); the pooled copy is what lets the dispatcher immediately
+// reuse its payload scratch.
+func (s *Server) sendPayload(c *conn, payload []byte) {
+	bp := s.bufPool.Get().(*[]byte)
+	*bp = wire.AppendFrame((*bp)[:0], payload)
+	c.out <- bp
+}
+
+// answeredN marks n dispatcher-owned tasks as answered and closes the
+// response queue when the reader is gone and nothing is pending.
+func (c *conn) answeredN(n int) {
+	if c.pending.Add(int64(-n)) == 0 && c.readerDone.Load() {
+		c.closeOut()
+	}
+}
+
+// release returns a task to the pool. Attrs is dropped so a pooled slot
+// cannot pin a dead request's map.
+func (s *Server) release(t *task) {
+	t.conn = nil
+	t.req = wire.Request{}
+	t.class = ""
+	s.taskPool.Put(t)
+}
+
+// dispatcher is one serving goroutine: its own request queue (the
+// connections pinned to it feed it), and its own scratch — the batch
+// under assembly, probe and update slices for the kernels, the response
+// payload buffer, and the per-connection response bundles of the
+// current batch. Scratch is reused across batches without locking, so
+// the steady-state serve path allocates nothing per batch.
+type dispatcher struct {
+	srv    *Server
+	tasks  chan *task
+	batch  []*task
+	probes []exec.Probe
+	ups    []exec.Update
+	rbuf   []byte      // response payload scratch
+	oid1   [1]oodb.OID // single-OID reply scratch
+
+	// Response bundling: every reply of the current batch is framed into
+	// its connection's bundle, and each bundle is queued as one write
+	// when the batch completes — one writer wakeup per window per
+	// connection.
+	bundles []bundle
+	byConn  map[*conn]int // index into bundles
+}
+
+// bundle accumulates one connection's framed responses for the batch in
+// flight. n counts the tasks answered into it, so the connection's
+// pending counter can be settled after the bundle is queued.
+type bundle struct {
+	c  *conn
+	bp *[]byte
+	n  int
+}
+
+func newDispatcher(s *Server) *dispatcher {
+	return &dispatcher{
+		srv:    s,
+		tasks:  make(chan *task, s.opts.QueueDepth),
+		byConn: make(map[*conn]int),
+	}
+}
+
+// run is the dispatcher loop, the goroutine that owns batching. It
+// blocks for the first task, then — unless coalescing is off — drains
+// whatever else has already arrived, up to MaxBatch, and serves the
+// batch. The adaptive window falls out of the structure: while this
+// batch executes, new arrivals queue up and become some dispatcher's
+// next batch, so the window widens exactly when the system is busy.
+func (d *dispatcher) run() {
+	s := d.srv
+	defer s.dispatchWG.Done()
+	for t := range d.tasks {
+		d.batch = append(d.batch[:0], t)
+		if !s.opts.DisableCoalescing {
+		fill:
+			for len(d.batch) < s.opts.MaxBatch {
+				select {
+				case t2, ok := <-d.tasks:
+					if !ok {
+						break fill // closing; outer range will also see it
+					}
+					d.batch = append(d.batch, t2)
+				default:
+					break fill
+				}
+			}
+		}
+		d.serveBatch(d.batch)
+	}
+}
+
+// serveBatch answers one coalesced window. The batch is carved into
+// maximal same-opcode segments served in arrival order: point-query
+// segments collapse into one QueryBatch descent, update segments into
+// one UpdateBatch (one WAL fsync decision on a durable backend), and
+// everything else is served per request.
+func (d *dispatcher) serveBatch(batch []*task) {
+	s := d.srv
+	s.nBatches.Add(1)
+	s.nRequests.Add(uint64(len(batch)))
+	if len(batch) > 1 {
+		s.nCoalesced.Add(uint64(len(batch) - 1))
+	}
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].req.Op == batch[i].req.Op {
+			j++
+		}
+		switch batch[i].req.Op {
+		case wire.OpQuery:
+			d.serveQueries(batch[i:j])
+		case wire.OpUpdate:
+			d.serveUpdates(batch[i:j])
+		default:
+			for _, t := range batch[i:j] {
+				d.serveOne(t)
+			}
+		}
+		i = j
+	}
+	d.flushBundles()
+}
+
+// flushBundles queues every connection's accumulated responses as one
+// write and settles the answered counts. The bundle must be queued
+// before the tasks count as answered: answered may close the response
+// queue, and a closed queue must have nothing left to enter it.
+func (d *dispatcher) flushBundles() {
+	for i := range d.bundles {
+		b := &d.bundles[i]
+		b.c.out <- b.bp
+		b.c.answeredN(b.n)
+		delete(d.byConn, b.c)
+		d.bundles[i] = bundle{}
+	}
+	d.bundles = d.bundles[:0]
+}
+
+// serveQueries answers a segment of point queries with one batch
+// descent. The batch kernel reports a single error for the whole
+// descent, so when any probe is poisoned (say, an unknown class) the
+// segment falls back to per-request serving — one request's error must
+// never fail another connection's query.
+func (d *dispatcher) serveQueries(run []*task) {
+	if len(run) == 1 {
+		d.serveOne(run[0])
+		return
+	}
+	d.probes = d.probes[:0]
+	for _, t := range run {
+		d.probes = append(d.probes, exec.Probe{
+			Value:       t.req.Value,
+			TargetClass: t.class,
+			Hierarchy:   t.req.Hierarchy,
+		})
+	}
+	res, err := d.srv.be.QueryBatch(d.probes)
+	if err != nil {
+		for _, t := range run {
+			d.serveOne(t)
+		}
+		return
+	}
+	for i, t := range run {
+		d.reply(t, res[i], nil)
+	}
+}
+
+// serveUpdates answers a segment of updates with one batch write — the
+// group commit: on a durable backend the whole segment is one fsync
+// decision, amortized across every connection that contributed.
+func (d *dispatcher) serveUpdates(run []*task) {
+	if len(run) == 1 {
+		d.serveOne(run[0])
+		return
+	}
+	d.ups = d.ups[:0]
+	for _, t := range run {
+		d.ups = append(d.ups, exec.Update{OID: t.req.OID, Attrs: t.req.Attrs})
+	}
+	errs := d.srv.be.UpdateBatch(d.ups)
+	for i, t := range run {
+		d.reply(t, nil, errs[i])
+	}
+}
+
+// serveOne answers a single request directly against the backend.
+func (d *dispatcher) serveOne(t *task) {
+	s := d.srv
+	var oids []oodb.OID
+	var err error
+	switch t.req.Op {
+	case wire.OpPing:
+	case wire.OpQuery:
+		oids, err = s.be.Query(t.req.Value, t.class, t.req.Hierarchy)
+	case wire.OpQueryRange:
+		oids, err = s.be.QueryRange(t.req.Lo, t.req.Hi, t.class, t.req.Hierarchy)
+	case wire.OpInsert:
+		var oid oodb.OID
+		if oid, err = s.be.Insert(t.class, t.req.Attrs); err == nil {
+			d.oid1[0] = oid
+			oids = d.oid1[:]
+		}
+	case wire.OpUpdate:
+		err = s.be.Update(t.req.OID, t.req.Attrs)
+	case wire.OpDelete:
+		err = s.be.Delete(t.req.OID)
+	default:
+		err = fmt.Errorf("netserver: unknown opcode %d", t.req.Op)
+	}
+	d.reply(t, oids, err)
+}
+
+// reply encodes one response into the dispatcher's payload scratch and
+// frames it into the connection's bundle for this batch; the bundle is
+// queued (and the task counted answered) when the batch completes.
+func (d *dispatcher) reply(t *task, oids []oodb.OID, err error) {
+	if err != nil {
+		d.rbuf = wire.AppendError(d.rbuf[:0], t.req.ID, err.Error())
+	} else {
+		d.rbuf = wire.AppendOKOIDs(d.rbuf[:0], t.req.ID, oids)
+	}
+	c := t.conn
+	i, ok := d.byConn[c]
+	if !ok {
+		i = len(d.bundles)
+		bp := d.srv.bufPool.Get().(*[]byte)
+		*bp = (*bp)[:0]
+		d.bundles = append(d.bundles, bundle{c: c, bp: bp})
+		d.byConn[c] = i
+	}
+	b := &d.bundles[i]
+	*b.bp = wire.AppendFrame(*b.bp, d.rbuf)
+	b.n++
+	d.srv.release(t)
+}
+
+// Shutdown stops accepting, unblocks every connection reader, drains
+// and answers all in-flight requests, flushes every response, and
+// returns once all goroutines are gone. Safe to call more than once.
+func (s *Server) Shutdown() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		<-s.done
+		return nil
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.acceptWG.Wait()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now()) //nolint:errcheck // best-effort unblock
+	}
+	s.mu.Unlock()
+	s.readers.Wait()
+	if s.started.Load() {
+		for _, d := range s.disps {
+			close(d.tasks)
+		}
+		s.dispatchWG.Wait()
+	}
+	s.writers.Wait()
+	close(s.done)
+	return nil
+}
+
+// Workload returns the merged workload every connection — live and
+// closed — has recorded, the server-side input to the drift machinery.
+// Zero unless Options.Path is set.
+func (s *Server) Workload() stats.Workload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := []stats.Workload{s.retired}
+	for c := range s.conns {
+		if c.rec != nil {
+			ws = append(ws, c.rec.Snapshot())
+		}
+	}
+	return stats.MergeWorkloads(ws...)
+}
+
+// Workloads returns the per-connection workloads of live connections —
+// the tenant-by-tenant view.
+func (s *Server) Workloads() []stats.Workload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := make([]stats.Workload, 0, len(s.conns))
+	for c := range s.conns {
+		if c.rec != nil {
+			ws = append(ws, c.rec.Snapshot())
+		}
+	}
+	return ws
+}
+
+// CoalesceStats reports how many requests the dispatcher has served,
+// across how many batch windows, and how many rode a window opened by
+// an earlier request (the coalesced count).
+func (s *Server) CoalesceStats() (requests, batches, coalesced uint64) {
+	return s.nRequests.Load(), s.nBatches.Load(), s.nCoalesced.Load()
+}

@@ -1,0 +1,330 @@
+package netserver
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/netclient"
+	"repro/internal/oodb"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// newTestEngine builds a small generated database behind a whole-path
+// NIX engine — the standard experiment substrate, small enough for unit
+// tests.
+func newTestEngine(t *testing.T, seed int64) (*engine.Engine, *gen.Generated) {
+	t.Helper()
+	g, err := gen.Generate(model.Figure7Stats(), 0.01, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Configuration{Assignments: []core.Assignment{
+		{A: 1, B: g.Path.Len(), Org: cost.NIX},
+	}}
+	e, err := engine.New(g.Store, g.Path, cfg, model.PaperParams().PageSize, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, g
+}
+
+// classOf adapts a store's Peek to the server's recording hook.
+func classOf(st *oodb.Store) func(oodb.OID) (string, bool) {
+	return func(oid oodb.OID) (string, bool) {
+		o, ok := st.Peek(oid)
+		if !ok {
+			return "", false
+		}
+		return o.Class, true
+	}
+}
+
+// startTestServer serves e and returns a connected client; everything
+// is torn down with the test.
+func startTestServer(t *testing.T, e Backend, opts Options) *netclient.Client {
+	t.Helper()
+	srv := New(e, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown() }) //nolint:errcheck
+	c, err := netclient.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck
+	return c
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	e, g := newTestEngine(t, 1)
+	srv := New(e, Options{Path: g.Path, ClassOf: classOf(g.Store)})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := netclient.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	// Point and range queries must agree exactly with direct engine calls.
+	for i, v := range g.EndValues[:10] {
+		for _, class := range []string{"Division", "Person"} {
+			want, werr := e.Query(v, class, false)
+			got, gerr := c.Query(v, class, false)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("value %d class %s: err %v vs %v", i, class, gerr, werr)
+			}
+			if !sameOIDs(got, want) {
+				t.Fatalf("value %d class %s: got %v want %v", i, class, got, want)
+			}
+		}
+	}
+	lo, hi := g.EndValues[0], g.EndValues[len(g.EndValues)/2]
+	want, werr := e.QueryRange(lo, hi, "Person", true)
+	got, gerr := c.QueryRange(lo, hi, "Person", true)
+	if werr != nil || gerr != nil || !sameOIDs(got, want) {
+		t.Fatalf("range: got %v (%v) want %v (%v)", got, gerr, want, werr)
+	}
+
+	// Insert, observe, update, delete — and an error round trip.
+	v := oodb.StrV("net-test-value")
+	oid, err := c.Insert("Division", map[string][]oodb.Value{"name": {v}})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	res, err := c.Query(v, "Division", false)
+	if err != nil || !sameOIDs(res, []oodb.OID{oid}) {
+		t.Fatalf("query after insert: %v %v", res, err)
+	}
+	v2 := oodb.StrV("net-test-value-2")
+	if err := c.Update(oid, map[string][]oodb.Value{"name": {v2}}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if res, _ := c.Query(v, "Division", false); len(res) != 0 {
+		t.Fatalf("old value still matches: %v", res)
+	}
+	if err := c.Delete(oid); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	err = c.Delete(oid)
+	var remote *netclient.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("second delete: want RemoteError, got %v", err)
+	}
+	wantErr := e.Delete(oid)
+	if wantErr == nil || remote.Msg != wantErr.Error() {
+		t.Fatalf("error message: got %q want %q", remote.Msg, wantErr)
+	}
+
+	// The per-connection recorder saw the traffic.
+	w := srv.Workload()
+	if total := workloadOps(w); total == 0 {
+		t.Fatal("server recorded no workload")
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func workloadOps(w stats.Workload) uint64 { return w.Total }
+
+func sameOIDs(a, b []oodb.OID) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestServerPipelinedBatch drives the client's pipelined QueryBatch and
+// UpdateBatch conveniences and checks the dispatcher actually coalesced
+// requests into windows.
+func TestServerPipelinedBatch(t *testing.T) {
+	e, g := newTestEngine(t, 2)
+	// One dispatcher makes the coalescing assertion deterministic: with a
+	// pool, several dispatchers can keep pace with the reader and serve
+	// singletons.
+	srv := New(e, Options{Path: g.Path, ClassOf: classOf(g.Store), Dispatchers: 1})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown() //nolint:errcheck
+	c, err := netclient.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	probes := genProbes(g, 200)
+	want, err := e.QueryBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.QueryBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probes {
+		if !sameOIDs(got[i], want[i]) {
+			t.Fatalf("probe %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	requests, batches, _ := srv.CoalesceStats()
+	if requests < 200 {
+		t.Fatalf("server saw %d requests", requests)
+	}
+	if batches >= requests {
+		t.Fatalf("no coalescing: %d batches for %d requests", batches, requests)
+	}
+}
+
+// TestServerErrorIsolation pipelines a poisoned query (unknown class)
+// among good ones: the poisoned one must fail with the engine's message
+// and the good ones must still answer correctly.
+func TestServerErrorIsolation(t *testing.T) {
+	e, g := newTestEngine(t, 3)
+	c := startTestServer(t, e, Options{Path: g.Path})
+
+	v := g.EndValues[0]
+	good1 := c.GoQuery(v, "Person", false)
+	bad := c.GoQuery(v, "NoSuchClass", false)
+	good2 := c.GoQuery(v, "Division", false)
+	want1, _ := e.Query(v, "Person", false)
+	want2, _ := e.Query(v, "Division", false)
+	_, wantErr := e.Query(v, "NoSuchClass", false)
+
+	got1, err1 := good1.Wait()
+	_, errBad := bad.Wait()
+	got2, err2 := good2.Wait()
+	if err1 != nil || !sameOIDs(got1, want1) {
+		t.Fatalf("good1: %v %v", got1, err1)
+	}
+	if err2 != nil || !sameOIDs(got2, want2) {
+		t.Fatalf("good2: %v %v", got2, err2)
+	}
+	var remote *netclient.RemoteError
+	if !errors.As(errBad, &remote) || wantErr == nil || remote.Msg != wantErr.Error() {
+		t.Fatalf("bad: got %v, want remote %q", errBad, wantErr)
+	}
+}
+
+// TestServerRejectsGarbage sends a corrupt frame: the connection must
+// die (WAL posture) without taking the server down.
+func TestServerRejectsGarbage(t *testing.T) {
+	e, g := newTestEngine(t, 4)
+	srv := New(e, Options{Path: g.Path})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown() //nolint:errcheck
+
+	c1, err := netclient.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// A raw connection spewing garbage gets dropped.
+	garbage, err := netDial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := garbage.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	garbage.SetReadDeadline(deadline()) //nolint:errcheck
+	if n, err := garbage.Read(buf); err == nil {
+		t.Fatalf("server answered garbage with %d bytes", n)
+	}
+	garbage.Close()
+
+	// The healthy connection still works.
+	if err := c1.Ping(); err != nil {
+		t.Fatalf("healthy connection broken: %v", err)
+	}
+}
+
+// TestServerUndecodableRequest sends a well-framed but bogus request
+// body: the server answers it with an error addressed by id, then drops
+// the connection.
+func TestServerUndecodableRequest(t *testing.T) {
+	e, g := newTestEngine(t, 5)
+	srv := New(e, Options{Path: g.Path})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown() //nolint:errcheck
+
+	nc, err := netDial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// id 7, unknown opcode 0xEE.
+	payload := []byte{0, 0, 0, 0, 0, 0, 0, 7, 0xEE}
+	if _, err := nc.Write(appendFrame(nil, payload)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(deadline()) //nolint:errcheck
+	resp, err := readOneResponse(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 || resp.Status != 1 || !strings.Contains(string(resp.Err), "opcode") {
+		t.Fatalf("got %+v", resp)
+	}
+}
+
+// genProbes builds n point probes cycling classes and values.
+func genProbes(g *gen.Generated, n int) []exec.Probe {
+	classes := []string{"Person", "Division"}
+	probes := make([]exec.Probe, n)
+	for i := range probes {
+		probes[i] = exec.Probe{
+			Value:       g.EndValues[i%len(g.EndValues)],
+			TargetClass: classes[i%len(classes)],
+			Hierarchy:   i%3 == 0,
+		}
+	}
+	return probes
+}
+
+func netDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+func deadline() time.Time { return time.Now().Add(2 * time.Second) }
+
+func appendFrame(dst, payload []byte) []byte { return wire.AppendFrame(dst, payload) }
+
+// readOneResponse reads and decodes a single response frame.
+func readOneResponse(r io.Reader) (wire.Response, error) {
+	var resp wire.Response
+	buf, err := wire.ReadFrame(r, nil)
+	if err != nil {
+		return resp, err
+	}
+	err = wire.DecodeResponse(buf, &resp)
+	return resp, err
+}

@@ -183,9 +183,11 @@ func (db *DB) Checkpoint() error {
 	return nil
 }
 
-// Close checkpoints and closes every shard. All shards are closed
-// regardless of individual failures; the first error in shard order is
-// returned. A no-op on an in-memory database.
+// Close quiesces and closes every shard — including any background
+// reconfiguration goroutines their drift checks spawned. All shards are
+// closed regardless of individual failures; the first error in shard
+// order is returned. An in-memory database has no files to release but
+// still joins its background work.
 func (db *DB) Close() error {
 	var first error
 	for i, e := range db.shards {
