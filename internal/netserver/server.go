@@ -32,7 +32,12 @@
 // request's engine error never fails another's: the batched query path
 // falls back to per-request serving when a batch carries a poisoned
 // probe, because the batch kernel reports one error for the whole
-// descent.
+// descent. A stalled client — socket open, but not reading — is
+// isolated the same way: a full response queue or a timed-out write
+// (Options.WriteTimeout) declares the connection dead and closes it,
+// and the dispatcher drops its responses rather than ever blocking on
+// it, so one stalled connection cannot wedge the others pinned to its
+// dispatcher or hang Shutdown.
 package netserver
 
 import (
@@ -89,8 +94,18 @@ type Options struct {
 	Dispatchers int
 
 	// QueueDepth is the capacity of the dispatcher's request queue and
-	// of each connection's response queue. Default 1024.
+	// of each connection's response queue. A connection whose response
+	// queue fills — the client stopped reading while the server kept
+	// answering — is closed rather than ever blocking its dispatcher.
+	// Default 1024.
 	QueueDepth int
+
+	// WriteTimeout bounds each socket write. A client that keeps the
+	// connection open but stops reading stalls the kernel send buffer;
+	// the deadline turns that stall into a write error so the connection
+	// tears down instead of pinning its writer (and, transitively,
+	// Shutdown) forever. Default 10s.
+	WriteTimeout time.Duration
 
 	// DisableCoalescing serves every request individually — the
 	// per-request dispatch baseline experiment E7 compares against.
@@ -109,6 +124,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 1024
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
 	}
 	return o
 }
@@ -134,6 +152,7 @@ type conn struct {
 
 	pending    atomic.Int64 // tasks handed to the dispatcher, not yet answered
 	readerDone atomic.Bool
+	dead       atomic.Bool // queue overflow or write failure; responses are dropped
 	outOnce    sync.Once
 
 	rec *stats.Recorder // nil unless Options.Path is set
@@ -370,10 +389,14 @@ func (s *Server) readLoop(c *conn) {
 
 // writeLoop drains the response queue to the socket through a buffered
 // writer, flushing whenever the queue goes empty — one syscall per
-// burst, not per response. On a write error it keeps draining (the
-// dispatcher must never block on a dead connection) without writing. It
-// owns the teardown: socket close and unregistration happen when the
-// queue closes.
+// burst, not per response. Every write carries a deadline, so a client
+// that holds the connection open but stops reading turns into a write
+// error once the kernel send buffer fills, instead of blocking this
+// goroutine forever. After the first error (or once the connection is
+// declared dead) the loop keeps draining without writing — the
+// dispatcher must never block on a dead or stalled connection — and the
+// socket is closed at once so the reader unblocks too. It owns the
+// final teardown: unregistration happens when the queue closes.
 func (s *Server) writeLoop(c *conn) {
 	defer s.writers.Done()
 	defer s.removeConn(c)
@@ -381,14 +404,20 @@ func (s *Server) writeLoop(c *conn) {
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
 	var werr error
 	for bp := range c.out {
-		if werr == nil {
+		if werr == nil && !c.dead.Load() {
+			c.nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)) //nolint:errcheck // a failed socket errors on Write
 			if _, werr = bw.Write(*bp); werr == nil && len(c.out) == 0 {
 				werr = bw.Flush()
+			}
+			if werr != nil {
+				c.dead.Store(true)
+				c.nc.Close() // unblock the reader; the stream is done
 			}
 		}
 		s.bufPool.Put(bp)
 	}
-	if werr == nil {
+	if werr == nil && !c.dead.Load() {
+		c.nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)) //nolint:errcheck
 		bw.Flush() //nolint:errcheck // the queue is closed; nothing left to report to
 	}
 }
@@ -414,7 +443,27 @@ func (s *Server) removeConn(c *conn) {
 func (s *Server) sendPayload(c *conn, payload []byte) {
 	bp := s.bufPool.Get().(*[]byte)
 	*bp = wire.AppendFrame((*bp)[:0], payload)
-	c.out <- bp
+	s.trySend(c, bp)
+}
+
+// trySend queues a framed buffer on the connection without ever
+// blocking the caller — the dispatcher serves many connections, so one
+// slow client must not stall the rest. A full queue means the client
+// has stopped reading while the server kept answering; the connection
+// is declared dead and closed (unblocking its reader, and its writer
+// once the pending write errors) and the buffer goes back to the pool.
+func (s *Server) trySend(c *conn, bp *[]byte) {
+	if c.dead.Load() {
+		s.bufPool.Put(bp)
+		return
+	}
+	select {
+	case c.out <- bp:
+	default:
+		c.dead.Store(true)
+		c.nc.Close()
+		s.bufPool.Put(bp)
+	}
 }
 
 // answeredN marks n dispatcher-owned tasks as answered and closes the
@@ -538,11 +587,14 @@ func (d *dispatcher) serveBatch(batch []*task) {
 // flushBundles queues every connection's accumulated responses as one
 // write and settles the answered counts. The bundle must be queued
 // before the tasks count as answered: answered may close the response
-// queue, and a closed queue must have nothing left to enter it.
+// queue, and a closed queue must have nothing left to enter it. The
+// queueing never blocks — a connection whose queue is full is killed
+// and its bundle dropped, so one stalled client cannot wedge the
+// dispatcher for every other connection pinned to it.
 func (d *dispatcher) flushBundles() {
 	for i := range d.bundles {
 		b := &d.bundles[i]
-		b.c.out <- b.bp
+		d.srv.trySend(b.c, b.bp)
 		b.c.answeredN(b.n)
 		delete(d.byConn, b.c)
 		d.bundles[i] = bundle{}
@@ -651,7 +703,9 @@ func (d *dispatcher) reply(t *task, oids []oodb.OID, err error) {
 
 // Shutdown stops accepting, unblocks every connection reader, drains
 // and answers all in-flight requests, flushes every response, and
-// returns once all goroutines are gone. Safe to call more than once.
+// returns once all goroutines are gone. A connection whose client has
+// stopped reading delays it by at most one WriteTimeout before being
+// cut off. Safe to call more than once.
 func (s *Server) Shutdown() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		<-s.done

@@ -298,6 +298,70 @@ func TestServerUndecodableRequest(t *testing.T) {
 	}
 }
 
+// TestServerStalledClient pins the stall-isolation posture: a client
+// that pipelines requests but never reads responses must be killed by
+// the server (full response queue or timed-out write) instead of
+// wedging its dispatcher — the healthy connection pinned to the same
+// dispatcher keeps answering — and Shutdown must still return.
+func TestServerStalledClient(t *testing.T) {
+	e, _ := newTestEngine(t, 6)
+	srv := New(e, Options{
+		Dispatchers:  1, // the stalled and healthy connections share it
+		QueueDepth:   4,
+		WriteTimeout: 200 * time.Millisecond,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown() //nolint:errcheck
+
+	healthy, err := netclient.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	stalled, err := netDial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+
+	// Pipeline pings without ever reading: responses pile up in the
+	// connection's out queue and the socket buffers until the server
+	// declares the connection dead and closes it, which surfaces here as
+	// a write error. The byte amplification is ~1:1, so the buffers fill
+	// after bounded input; the cap is a backstop, not the exit path.
+	var killed bool
+	ping := appendFrame(nil, wire.AppendPing(nil, 1))
+	for i := 0; i < 1<<20 && !killed; i++ {
+		stalled.SetWriteDeadline(deadline()) //nolint:errcheck
+		if _, err := stalled.Write(ping); err != nil {
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatal("server never killed the stalled connection")
+	}
+
+	// The dispatcher the stalled connection was pinned to still serves.
+	if err := healthy.Ping(); err != nil {
+		t.Fatalf("healthy connection starved by stalled one: %v", err)
+	}
+
+	// Shutdown must not hang on the stalled connection's remains.
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown wedged on stalled connection")
+	}
+}
+
 // genProbes builds n point probes cycling classes and values.
 func genProbes(g *gen.Generated, n int) []exec.Probe {
 	classes := []string{"Person", "Division"}

@@ -28,6 +28,9 @@ func FuzzFrameDecode(f *testing.F) {
 		{0, 0, 0, 5, 1, 2, 3, 4, 'x'},        // bad checksum
 		{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, // oversized declared length
 		{},                                   // empty
+		// StatusOK response whose OID count overflows 8*n in uint32
+		// (0x20000000 * 8 wraps to 0, matching the empty body).
+		AppendFrame(nil, append(appendHeader(nil, 9, StatusOK), 0x20, 0x00, 0x00, 0x00)),
 	}
 	for _, s := range seeds {
 		f.Add(s)

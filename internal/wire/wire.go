@@ -348,7 +348,9 @@ func DecodeResponse(b []byte, resp *Response) error {
 		}
 		n := binary.BigEndian.Uint32(b)
 		b = b[4:]
-		if uint32(len(b)) != 8*n {
+		// 64-bit compare: 8*n wraps in uint32 for n >= 2^29, which would
+		// let a corrupt count slip past the check and panic the loop.
+		if uint64(len(b)) != 8*uint64(n) {
 			return fmt.Errorf("wire: result body is %d bytes for %d oids", len(b), n)
 		}
 		for i := uint32(0); i < n; i++ {

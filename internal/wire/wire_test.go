@@ -184,4 +184,20 @@ func TestResponseRejectsDamage(t *testing.T) {
 	if err := DecodeResponse(bad, &resp); err == nil {
 		t.Error("unknown status decoded")
 	}
+	// A count whose 8*n wraps uint32 back to the body length must still
+	// be rejected: 0x20000000 OIDs over an empty body made 8*n == 0 under
+	// 32-bit arithmetic, and the decode loop then indexed out of range.
+	overflow := appendHeader(nil, 1, StatusOK)
+	overflow = append(overflow, 0x20, 0x00, 0x00, 0x00)
+	if err := DecodeResponse(overflow, &resp); err == nil {
+		t.Error("overflowing count decoded")
+	}
+	// Same wrap with a non-empty body: count 0x20000001 declares 8 more
+	// bytes than 2^32, which truncates to 8 — the body length.
+	overflow = appendHeader(nil, 1, StatusOK)
+	overflow = append(overflow, 0x20, 0x00, 0x00, 0x01)
+	overflow = append(overflow, make([]byte, 8)...)
+	if err := DecodeResponse(overflow, &resp); err == nil {
+		t.Error("overflowing count decoded")
+	}
 }
