@@ -18,6 +18,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // Re-exported schema types: classes, attributes, paths (Definition 2.1).
@@ -179,7 +180,8 @@ type (
 	NetBackend = netserver.Backend
 	// NetClient is the pipelining client: synchronous calls mirror the
 	// Database methods, Go-prefixed calls return a NetCall future so many
-	// requests share one round trip.
+	// requests share one round trip. Predicate and PredicateValues ship
+	// WirePredicate trees to the server's planner.
 	NetClient = netclient.Client
 	// NetCall is one in-flight pipelined request; Wait blocks for its
 	// response.
@@ -198,6 +200,28 @@ func NewNetServer(be NetBackend, opts NetServerOptions) *NetServer {
 
 // DialNet connects to a NetServer (or a running ixserved).
 func DialNet(addr string) (*NetClient, error) { return netclient.Dial(addr) }
+
+// WirePredicate is a predicate tree in its wire form: Eq/Range leaves
+// name server-registered path ids instead of *Path values, so a client
+// needs no schema to query. Build trees with WireEq, WireRange, WireAnd
+// and WireOr; ship them with NetClient.Predicate (OIDs) or
+// NetClient.PredicateValues (ending-attribute projection). The server
+// resolves ids through NetServer.RegisterPath, plans each distinct tree
+// once per coalesced window, and answers errors per request — a bad
+// tree never takes down the connection.
+type WirePredicate = wire.PredNode
+
+// WireEq builds the wire predicate "path id's ending attribute = v".
+func WireEq(pathID uint16, v Value) WirePredicate { return wire.EqPred(pathID, v) }
+
+// WireRange builds the wire predicate "path id's ending attribute IN [lo, hi)".
+func WireRange(pathID uint16, lo, hi Value) WirePredicate { return wire.RangePred(pathID, lo, hi) }
+
+// WireAnd conjoins wire predicates (nested WireAnds flatten).
+func WireAnd(kids ...WirePredicate) WirePredicate { return wire.AndPred(kids...) }
+
+// WireOr disjoins wire predicates (nested WireOrs flatten).
+func WireOr(kids ...WirePredicate) WirePredicate { return wire.OrPred(kids...) }
 
 // Re-exported planner types: conjunctive predicates over several
 // registered paths, compiled to selectivity-ordered probe plans.

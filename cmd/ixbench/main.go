@@ -30,6 +30,10 @@
 //	                          # protocol with request coalescing vs the
 //	                          # embedded batch kernel (E7); emits
 //	                          # BENCH_net.json
+//	ixbench -run netplan      # predicate trees over the wire: coalesced
+//	                          # planner dispatch vs per-request dispatch
+//	                          # vs the embedded planner (E8); emits
+//	                          # BENCH_netplan.json
 package main
 
 import (
@@ -61,6 +65,7 @@ var modes = []struct{ name, desc string }{
 	{"durable", "durability cost: fsync policies, recovery time, cold-cache serving; emits BENCH_wal.json (E5)"},
 	{"plan", "conjunctive planner: selectivity ordering and shard-summary pruning; emits BENCH_plan.json (E6)"},
 	{"net", "networked serving: pipelined+coalesced wire protocol vs embedded at 1/8/64/256 connections; emits BENCH_net.json (E7)"},
+	{"netplan", "predicate trees over the wire: coalesced planner dispatch vs per-request vs embedded at 1/8/64 connections; emits BENCH_netplan.json (E8)"},
 }
 
 func usage() {
@@ -96,16 +101,18 @@ func main() {
 	planOut := flag.String("plan-out", "BENCH_plan.json", "output file for the plan experiment's JSON report")
 	netOps := flag.Int("net-ops", 2000, "operations per connection in the net experiment")
 	netOut := flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON report")
+	netplanOps := flag.Int("netplan-ops", 1000, "operations per connection in the netplan experiment")
+	netplanOut := flag.String("netplan-out", "BENCH_netplan.json", "output file for the netplan experiment's JSON report")
 	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut, *netOps, *netOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut, *netOps, *netOut, *netplanOps, *netplanOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string, netOps int, netOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string, netOps int, netOut string, netplanOps int, netplanOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -260,6 +267,18 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 		}
 		fmt.Println(rep.Render())
 		if err := writeJSON(netOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("netplan") {
+		ran = true
+		section("E8 — predicate dispatch over the wire")
+		rep, err := experiments.RunNetPlan(seed, []int{1, 8, 64}, netplanOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if err := writeJSON(netplanOut, rep); err != nil {
 			return err
 		}
 	}

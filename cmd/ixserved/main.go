@@ -20,6 +20,18 @@
 // self-tuning loop: every N operations the server-side engine checks
 // workload drift against the model and reconfigures its indexes in the
 // background while connections keep flowing.
+//
+// Predicate queries: the served path is always registered as wire path
+// id 1 with the backend as its index source, so clients can ship
+// predicate trees (OpPredicate) immediately. -paths registers extra
+// ids, e.g.
+//
+//	ixserved -paths "2=Person.age,3=Person.owns.color"
+//
+// Each extra path gets its own whole-path NIX executor over the store
+// in single-engine modes; in sharded mode extra paths register for
+// decoding only (no unified store to index), so predicates on them
+// answer with the planner's no-source error rather than wrong results.
 package main
 
 import (
@@ -29,15 +41,19 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/netserver"
 	"repro/internal/oodb"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/shard"
 )
@@ -51,9 +67,10 @@ func main() {
 	checkEvery := flag.Int("checkevery", 0, "check workload drift every N ops and auto-tune (0: off)")
 	maxBatch := flag.Int("maxbatch", 0, "coalescing window cap in requests (0: default)")
 	noCoalesce := flag.Bool("no-coalesce", false, "dispatch each request alone (benchmark control arm)")
+	paths := flag.String("paths", "", `extra predicate path registrations, "id=Class.attr...,id=..." (served path is always id 1)`)
 	flag.Parse()
 
-	if err := run(*addr, *dir, *shards, *seed, *scale, *checkEvery, *maxBatch, *noCoalesce); err != nil {
+	if err := run(*addr, *dir, *shards, *seed, *scale, *checkEvery, *maxBatch, *noCoalesce, *paths); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -65,7 +82,7 @@ type backend interface {
 	Close() error
 }
 
-func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, maxBatch int, noCoalesce bool) error {
+func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, maxBatch int, noCoalesce bool, pathSpecs string) error {
 	eopts := engine.Options{CheckEvery: uint64(checkEvery)}
 	cfg := func(p *schema.Path) core.Configuration {
 		return core.Configuration{Assignments: []core.Assignment{
@@ -78,6 +95,7 @@ func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, ma
 		be      backend
 		p       *schema.Path
 		classOf func(oodb.OID) (string, bool)
+		st      *oodb.Store // unified store for extra-path executors; nil when sharded
 	)
 	switch {
 	case dir != "":
@@ -96,7 +114,7 @@ func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, ma
 			if err != nil {
 				return err
 			}
-			be, classOf = e, storeClassOf(e.Store())
+			be, classOf, st = e, storeClassOf(e.Store()), e.Store()
 		}
 	default:
 		if shards > 1 {
@@ -125,7 +143,7 @@ func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, ma
 			if err != nil {
 				return err
 			}
-			be, classOf = e, storeClassOf(e.Store())
+			be, classOf, st = e, storeClassOf(e.Store()), e.Store()
 		}
 	}
 
@@ -134,7 +152,34 @@ func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, ma
 		ClassOf:           classOf,
 		MaxBatch:          maxBatch,
 		DisableCoalescing: noCoalesce,
+		Store:             st,
 	})
+
+	// The served path is always predicate-addressable as id 1, probed
+	// through the backend's own maintained indexes.
+	if err := srv.RegisterPath(1, p, be, nil); err != nil {
+		return err
+	}
+	log.Printf("ixserved: predicate path 1 = %s (backend indexes)", p)
+	extra, err := parsePathSpecs(p.Schema(), pathSpecs)
+	if err != nil {
+		return err
+	}
+	for _, sp := range extra {
+		var src plan.Source
+		how := "decode-only; no unified store"
+		if st != nil {
+			ex, err := exec.NewConfigured(st, sp.path, cfg(sp.path), pageSize)
+			if err != nil {
+				return fmt.Errorf("index extra path %s: %w", sp.path, err)
+			}
+			src, how = ex, "whole-path NIX executor"
+		}
+		if err := srv.RegisterPath(sp.id, sp.path, src, nil); err != nil {
+			return err
+		}
+		log.Printf("ixserved: predicate path %d = %s (%s)", sp.id, sp.path, how)
+	}
 	lnAddr, err := srv.Listen(addr)
 	if err != nil {
 		return err
@@ -159,6 +204,42 @@ func run(addr, dir string, shards int, seed int64, scale float64, checkEvery, ma
 	}
 	log.Printf("ixserved: clean exit")
 	return nil
+}
+
+// pathSpec is one "-paths" registration: wire id plus parsed path.
+type pathSpec struct {
+	id   uint16
+	path *schema.Path
+}
+
+// parsePathSpecs parses "id=Class.attr.attr,..." against the schema.
+// Id 1 is reserved for the served path.
+func parsePathSpecs(s *schema.Schema, spec string) ([]pathSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []pathSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		idStr, pathStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-paths entry %q is not id=Class.attr...", part)
+		}
+		id, err := strconv.ParseUint(idStr, 10, 16)
+		if err != nil || id <= 1 {
+			return nil, fmt.Errorf("-paths entry %q: id must be an integer > 1 (1 is the served path)", part)
+		}
+		steps := strings.Split(pathStr, ".")
+		if len(steps) < 2 {
+			return nil, fmt.Errorf("-paths entry %q: path needs a class and at least one attribute", part)
+		}
+		p, err := schema.NewPath(s, steps[0], steps[1:]...)
+		if err != nil {
+			return nil, fmt.Errorf("-paths entry %q: %w", part, err)
+		}
+		out = append(out, pathSpec{id: uint16(id), path: p})
+	}
+	return out, nil
 }
 
 // storeClassOf adapts a store's Peek to the server's recording hook.

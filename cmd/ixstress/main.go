@@ -17,6 +17,13 @@
 // With -sync the pipeline is disabled — every request waits for its
 // response before the next is sent (one request per RTT), the control
 // arm that shows what pipelining and coalescing buy.
+//
+// -pred replaces that fraction of the read mix with predicate-tree
+// queries (OpPredicate) drawn from a small pool of Eq/Or trees over
+// wire path id 1 — ixserved always registers its served path there.
+// The pool repeats across connections on purpose: identical trees
+// landing in one coalescing window share a single planner descent, so
+// this arm exercises the server's predicate dedup under load.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"repro/internal/netclient"
 	"repro/internal/oodb"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -38,12 +46,13 @@ func main() {
 	ops := flag.Int("ops", 2000, "operations per connection")
 	depth := flag.Int("depth", 32, "pipeline depth per connection")
 	write := flag.Float64("write", 0.1, "fraction of operations that are inserts/deletes")
+	pred := flag.Float64("pred", 0, "fraction of operations that are predicate-tree queries (path id 1)")
 	values := flag.Int("values", 100, "distinct point-query values (val-00000..)")
 	seed := flag.Int64("seed", 1, "per-connection workload seed base")
 	sync_ := flag.Bool("sync", false, "one request per round trip (disables pipelining)")
 	flag.Parse()
 
-	rep, err := stress(*addr, *conns, *ops, *depth, *write, *values, *seed, *sync_)
+	rep, err := stress(*addr, *conns, *ops, *depth, *write, *pred, *values, *seed, *sync_)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +66,7 @@ type result struct {
 }
 
 // stress runs the fleet and renders the aggregate report.
-func stress(addr string, conns, ops, depth int, write float64, values int, seed int64, syncMode bool) (string, error) {
+func stress(addr string, conns, ops, depth int, write, pred float64, values int, seed int64, syncMode bool) (string, error) {
 	if syncMode {
 		depth = 1
 	}
@@ -68,7 +77,7 @@ func stress(addr string, conns, ops, depth int, write float64, values int, seed 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = drive(addr, ops, depth, write, values, seed+int64(w))
+			results[w] = drive(addr, ops, depth, write, pred, values, seed+int64(w))
 		}(w)
 	}
 	wg.Wait()
@@ -89,6 +98,9 @@ func stress(addr string, conns, ops, depth int, write float64, values int, seed 
 	if syncMode {
 		mode = "sync (1 req/RTT)"
 	}
+	if pred > 0 {
+		mode += fmt.Sprintf(", pred %.0f%%", 100*pred)
+	}
 	return fmt.Sprintf(
 		"ixstress: %d conns x %d ops, depth %d, %s, write %.0f%%\n"+
 			"  %d ops in %.2fs = %.0f ops/sec (%d server-side errors)\n"+
@@ -100,16 +112,35 @@ func stress(addr string, conns, ops, depth int, write float64, values int, seed 
 		all[len(all)-1].Round(time.Microsecond)), nil
 }
 
+// predPool builds the shared predicate-tree pool: Eq leaves and small
+// Or trees over path id 1's "val-%05d" value space. Every connection
+// derives the same pool, so identical trees collide in the server's
+// coalescing windows and share planner descents.
+func predPool(values int) []wire.PredNode {
+	pick := func(i int) oodb.Value {
+		return oodb.StrV(fmt.Sprintf("val-%05d", i%values))
+	}
+	pool := make([]wire.PredNode, 0, 8)
+	for i := 0; i < 4; i++ {
+		pool = append(pool, wire.EqPred(1, pick(i*7)))
+	}
+	for i := 0; i < 4; i++ {
+		pool = append(pool, wire.OrPred(wire.EqPred(1, pick(i*11+1)), wire.EqPred(1, pick(i*13+2))))
+	}
+	return pool
+}
+
 // drive runs one connection's share of the workload: a sliding window
 // of up to `depth` in-flight requests, latency measured per request
 // from send to response.
-func drive(addr string, ops, depth int, write float64, values int, seed int64) result {
+func drive(addr string, ops, depth int, write, pred float64, values int, seed int64) result {
 	c, err := netclient.Dial(addr)
 	if err != nil {
 		return result{err: err}
 	}
 	defer c.Close() //nolint:errcheck
 
+	preds := predPool(values)
 	rng := rand.New(rand.NewSource(seed))
 	type inflight struct {
 		call   *netclient.Call
@@ -149,6 +180,8 @@ func drive(addr string, ops, depth int, write float64, values int, seed int64) r
 				f.call = c.GoInsert("Division", map[string][]oodb.Value{"name": {v}})
 				f.insert = true
 			}
+		case rng.Float64() < pred:
+			f.call = c.GoPredicate(&preds[rng.Intn(len(preds))], "Person", false)
 		default:
 			v := oodb.StrV(fmt.Sprintf("val-%05d", rng.Intn(values)))
 			class, hier := "Person", false

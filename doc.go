@@ -267,6 +267,26 @@
 // wire-bound read mixes and writes BENCH_net.json; DESIGN.md §10
 // records the protocol and the measured shape. See examples/netclient.
 //
+// # Planning over the network
+//
+// The planner's predicate trees serialize over the same protocol:
+// WireEq, WireRange, WireAnd and WireOr build a WirePredicate whose
+// leaves name paths by server-registered id (NetServer.RegisterPath) —
+// a remote caller needs no schema — and NetClient.Predicate or
+// PredicateValues (with GoPredicate/GoPredicateValues futures) execute
+// it server-side through the full §Planning machinery: selectivity
+// ordering, galloping intersection, residual filters, shard pruning.
+// The encoding is canonical (decode-or-error under fuzz, re-encoding
+// byte-identical) with depth and node caps enforced at decode, so a
+// hostile tree fails its connection, never the process. The dispatcher
+// extends coalescing to predicates by dedup: identical trees arriving
+// in one window cost one planner descent whose answer fans back to
+// every caller, which is why parameterized query pools serve at batch
+// rates over the wire. Experiment E8 (ixbench -run netplan) measures
+// coalesced vs per-request predicate dispatch vs the embedded planner
+// and writes BENCH_netplan.json; DESIGN.md §11 records the encoding
+// and the measured dividend.
+//
 // See README.md for the repository map, the examples/ directory for
 // end-to-end programs, and DESIGN.md for the system inventory and the
 // paper-versus-measured experiment index.

@@ -1,10 +1,11 @@
 // Netclient: the serving tier end to end in one process. A generated
 // database goes behind the TCP server, a client dials it, and the same
 // operations the embedded engine answers — point and range queries,
-// inserts, updates, deletes — cross the wire instead, first one round
-// trip at a time and then pipelined, where the server coalesces the
-// concurrently-arriving requests into one batch-kernel descent and the
-// coalescing counters show it happening.
+// inserts, updates, deletes, predicate trees — cross the wire instead,
+// first one round trip at a time and then pipelined, where the server
+// coalesces the concurrently-arriving requests into one batch-kernel
+// descent (and identical predicate trees into one shared planner
+// descent) and the counters show it happening.
 package main
 
 import (
@@ -42,6 +43,12 @@ func main() {
 			return o.Class, true
 		},
 	})
+	// Registering the served path as wire id 1 makes it addressable by
+	// predicate trees; the engine's own maintained indexes answer the
+	// probes.
+	if err := srv.RegisterPath(1, g.Path, db, nil); err != nil {
+		log.Fatal(err)
+	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -112,8 +119,32 @@ func main() {
 	}
 	reqs, batches, coalesced := srv.CoalesceStats()
 	fmt.Printf("pipelined %d queries -> %d owners\n", len(calls), hits)
-	fmt.Printf("server saw %d requests in %d batches (%d coalesced into a shared window)\n",
+	fmt.Printf("server saw %d requests in %d batches (%d coalesced into a shared window)\n\n",
 		reqs, batches, coalesced)
+
+	// A predicate tree, planned and executed server-side: leaves name
+	// the registered path id, so the client needs no schema. Identical
+	// trees pipelined into one window share a single planner descent —
+	// the predicate counters show requests vs descents.
+	pred := ooindex.WireOr(
+		ooindex.WireEq(1, g.EndValues[3]),
+		ooindex.WireEq(1, g.EndValues[5]),
+	)
+	pcalls := make([]*ooindex.NetCall, 16)
+	for i := range pcalls {
+		pcalls[i] = c.GoPredicate(&pred, "Person", false)
+	}
+	matched := 0
+	for _, call := range pcalls {
+		oids, err := call.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		matched = len(oids)
+	}
+	preqs, descents := srv.PredicateStats()
+	fmt.Printf("pipelined %d identical predicate trees -> %d matches each\n", len(pcalls), matched)
+	fmt.Printf("server planned %d predicate requests in %d shared descents\n", preqs, descents)
 
 	if err := c.Close(); err != nil {
 		log.Fatal(err)

@@ -49,6 +49,7 @@ type Call struct {
 	c    *Client
 	done chan struct{}
 	oids []oodb.OID
+	vals []oodb.Value
 	err  error
 }
 
@@ -62,6 +63,18 @@ func (call *Call) Wait() ([]oodb.OID, error) {
 		<-call.done
 	}
 	return call.oids, call.err
+}
+
+// WaitValues is Wait for value-projection calls (GoPredicateValues): it
+// returns the projected values instead of OIDs.
+func (call *Call) WaitValues() ([]oodb.Value, error) {
+	select {
+	case <-call.done:
+	default:
+		call.c.Flush() //nolint:errcheck // a flush failure fails every pending call, this one included
+		<-call.done
+	}
+	return call.vals, call.err
 }
 
 // Client is one pipelined connection to a serving-tier server. Methods
@@ -129,9 +142,12 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("netclient: response for unknown request id %d", resp.ID))
 			return
 		}
-		if resp.Status == wire.StatusErr {
+		switch {
+		case resp.Status == wire.StatusErr:
 			call.err = &RemoteError{Msg: string(resp.Err)}
-		} else if len(resp.OIDs) > 0 {
+		case resp.Status == wire.StatusOKValues && len(resp.Vals) > 0:
+			call.vals = append([]oodb.Value(nil), resp.Vals...)
+		case len(resp.OIDs) > 0:
 			call.oids = append([]oodb.OID(nil), resp.OIDs...)
 		}
 		close(call.done)
@@ -250,6 +266,25 @@ func (c *Client) GoDelete(oid oodb.OID) *Call {
 	return c.start(func(dst []byte, id uint64) []byte { return wire.AppendDelete(dst, id, oid) })
 }
 
+// GoPredicate starts a predicate-tree query: pred (built with
+// wire.EqPred/RangePred/AndPred/OrPred over server-registered path ids)
+// evaluated against targetClass by the server's planner. Identical
+// predicates concurrently in flight may share one planner descent on
+// the server; pipelining them is what creates that window.
+func (c *Client) GoPredicate(pred *wire.PredNode, targetClass string, hierarchy bool) *Call {
+	return c.start(func(dst []byte, id uint64) []byte {
+		return wire.AppendPredicate(dst, id, pred, targetClass, hierarchy)
+	})
+}
+
+// GoPredicateValues starts a predicate query projecting attribute attr
+// of each match; wait with WaitValues.
+func (c *Client) GoPredicateValues(pred *wire.PredNode, attr, targetClass string, hierarchy bool) *Call {
+	return c.start(func(dst []byte, id uint64) []byte {
+		return wire.AppendPredicateValues(dst, id, pred, attr, targetClass, hierarchy)
+	})
+}
+
 // Ping round-trips a no-op — a liveness and latency probe.
 func (c *Client) Ping() error {
 	_, err := c.GoPing().Wait()
@@ -289,6 +324,19 @@ func (c *Client) Update(oid oodb.OID, attrs map[string][]oodb.Value) error {
 func (c *Client) Delete(oid oodb.OID) error {
 	_, err := c.GoDelete(oid).Wait()
 	return err
+}
+
+// Predicate evaluates a predicate tree against targetClass, one request
+// per round trip. The result is sorted and duplicate-free, exactly what
+// an embedded plan.Planner would return.
+func (c *Client) Predicate(pred *wire.PredNode, targetClass string, hierarchy bool) ([]oodb.OID, error) {
+	return c.GoPredicate(pred, targetClass, hierarchy).Wait()
+}
+
+// PredicateValues evaluates a predicate tree and returns attribute attr
+// of each match.
+func (c *Client) PredicateValues(pred *wire.PredNode, attr, targetClass string, hierarchy bool) ([]oodb.Value, error) {
+	return c.GoPredicateValues(pred, attr, targetClass, hierarchy).WaitValues()
 }
 
 // QueryBatch evaluates a batch of point probes by pipelining them: every

@@ -38,6 +38,18 @@
 // and the dispatcher drops its responses rather than ever blocking on
 // it, so one stalled connection cannot wedge the others pinned to its
 // dispatcher or hang Shutdown.
+//
+// Predicates. RegisterPath publishes id→path bindings (copy-on-write,
+// like class interning), and OpPredicate/OpPredicateValues requests
+// execute planner-compiled predicate trees against them. Each
+// dispatcher owns a private plan.Planner, rebuilt lazily when the
+// registration table's generation moves. Coalescing extends to
+// predicates by dedup: a same-opcode run is grouped by canonical tree
+// bytes + hierarchy + target class + attr, and each distinct group
+// costs one planner descent whose answer fans out to every request in
+// the group — errors isolate per group, so a poisoned plan answers
+// only its own requests. PredicateStats exposes the requests/descents
+// counters.
 package netserver
 
 import (
@@ -50,7 +62,9 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/model"
 	"repro/internal/oodb"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -81,6 +95,13 @@ type Options struct {
 	// deletes (the wire request carries only the OID). Typically
 	// store.Peek. Nil skips recording those ops.
 	ClassOf func(oodb.OID) (string, bool)
+
+	// Store backs the predicate dispatch path's planners: residual
+	// post-filters for unsourced leaves and OpPredicateValues projection
+	// run against it, exactly as an embedded plan.Planner would. Nil
+	// serves predicates without naive fallback — a leaf whose path has
+	// no registered source answers with the planner's no-source error.
+	Store *oodb.Store
 
 	// MaxBatch caps how many requests one dispatch window may coalesce.
 	// Default 256.
@@ -139,6 +160,29 @@ type task struct {
 	conn  *conn
 	req   wire.Request
 	class string // interned copy of req.Class (which aliases a dead buffer)
+	attr  string // interned copy of req.Attr (OpPredicateValues)
+}
+
+// pathReg is one wire path-id binding: the schema path it names, an
+// optional probe source and cold statistics for the planner. A nil src
+// means the path is known for decoding but unsourced — its leaves run
+// through the planner's naive store fallback, exactly as an embedded
+// planner treats a path nobody registered.
+type pathReg struct {
+	id   uint16
+	path *schema.Path
+	src  plan.Source
+	ps   *model.PathStats
+}
+
+// pathTable is the copy-on-write id→path registration table, the
+// predicate analog of the class intern table: dispatchers read it with
+// one atomic load, RegisterPath replaces it wholesale under the server
+// lock. gen lets each dispatcher notice a replacement and rebuild its
+// private planner lazily.
+type pathTable struct {
+	gen  uint64
+	byID map[uint16]*pathReg
 }
 
 // conn is one client connection: a reader goroutine feeding the shared
@@ -175,6 +219,7 @@ type Server struct {
 	conns      map[*conn]struct{}
 	retired    stats.Workload                    // merged workloads of closed connections
 	classes    atomic.Pointer[map[string]string] // copy-on-write intern table
+	paths      atomic.Pointer[pathTable]         // copy-on-write path registrations
 	disps      []*dispatcher
 	nextDisp   atomic.Uint64 // round-robin connection-to-dispatcher assignment
 	taskPool   sync.Pool
@@ -191,6 +236,12 @@ type Server struct {
 	nBatches   atomic.Uint64
 	nRequests  atomic.Uint64
 	nCoalesced atomic.Uint64
+
+	// Predicate dispatch counters, for E8: requests served through the
+	// planner path, and how many planner descents they cost (identical
+	// coalesced predicates share one).
+	nPredRequests atomic.Uint64
+	nPredDescents atomic.Uint64
 }
 
 // New builds a server around be. Serve or Listen starts it.
@@ -203,6 +254,7 @@ func New(be Backend, opts Options) *Server {
 	}
 	empty := make(map[string]string)
 	s.classes.Store(&empty)
+	s.paths.Store(&pathTable{byID: make(map[uint16]*pathReg)})
 	for i := 0; i < s.opts.Dispatchers; i++ {
 		s.disps = append(s.disps, newDispatcher(s))
 	}
@@ -320,13 +372,37 @@ func (s *Server) intern(b []byte) string {
 	return v
 }
 
+// RegisterPath binds wire path id to p for predicate requests: leaves
+// carrying id probe src (any plan.Source — an engine, a Configured
+// index set, a sharded DB), with ps seeding cold cardinality estimates.
+// A nil src registers the path for decoding only; its leaves run
+// through the planner's naive store fallback (Options.Store), matching
+// an embedded planner with that path unregistered. Replacing a live id
+// is allowed; each dispatcher rebuilds its planner before its next
+// predicate batch. Safe to call while serving.
+func (s *Server) RegisterPath(id uint16, p *schema.Path, src plan.Source, ps *model.PathStats) error {
+	if p == nil {
+		return fmt.Errorf("netserver: register path %d with nil path", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.paths.Load()
+	next := &pathTable{gen: old.gen + 1, byID: make(map[uint16]*pathReg, len(old.byID)+1)}
+	for k, v := range old.byID {
+		next.byID[k] = v
+	}
+	next.byID[id] = &pathReg{id: id, path: p, src: src, ps: ps}
+	s.paths.Store(next)
+	return nil
+}
+
 // record feeds one request into the connection's workload recorder.
 func (c *conn) record(t *task) {
 	if c.rec == nil {
 		return
 	}
 	switch t.req.Op {
-	case wire.OpQuery, wire.OpQueryRange:
+	case wire.OpQuery, wire.OpQueryRange, wire.OpPredicate, wire.OpPredicateValues:
 		c.rec.Record(t.class, stats.OpQuery)
 	case wire.OpInsert:
 		c.rec.Record(t.class, stats.OpInsert)
@@ -381,6 +457,10 @@ func (s *Server) readLoop(c *conn) {
 		t.conn = c
 		t.class = s.intern(t.req.Class)
 		t.req.Class = nil // the alias dies with the next ReadFrame
+		if t.req.Op == wire.OpPredicateValues {
+			t.attr = s.intern(t.req.Attr)
+			t.req.Attr = nil
+		}
 		c.record(t)
 		c.pending.Add(1)
 		c.disp.tasks <- t
@@ -418,7 +498,7 @@ func (s *Server) writeLoop(c *conn) {
 	}
 	if werr == nil && !c.dead.Load() {
 		c.nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)) //nolint:errcheck
-		bw.Flush() //nolint:errcheck // the queue is closed; nothing left to report to
+		bw.Flush()                                                 //nolint:errcheck // the queue is closed; nothing left to report to
 	}
 }
 
@@ -480,6 +560,7 @@ func (s *Server) release(t *task) {
 	t.conn = nil
 	t.req = wire.Request{}
 	t.class = ""
+	t.attr = ""
 	s.taskPool.Put(t)
 }
 
@@ -497,6 +578,20 @@ type dispatcher struct {
 	ups    []exec.Update
 	rbuf   []byte      // response payload scratch
 	oid1   [1]oodb.OID // single-OID reply scratch
+
+	// Predicate dispatch: each dispatcher owns a private planner over
+	// the registered paths, rebuilt lazily when the path table's
+	// generation moves — planning state (EWMA cardinalities, scratch)
+	// stays dispatcher-local, so predicate serving takes no lock.
+	pl    *plan.Planner
+	plGen uint64
+
+	// Predicate coalescing scratch: identical predicates in one window
+	// share a planner descent. keyBuf holds the canonical key under
+	// construction; predKey maps key → group; predGroups is reused.
+	keyBuf     []byte
+	predKey    map[string]int
+	predGroups [][]*task
 
 	// Response bundling: every reply of the current batch is framed into
 	// its connection's bundle, and each bundle is queued as one write
@@ -517,9 +612,10 @@ type bundle struct {
 
 func newDispatcher(s *Server) *dispatcher {
 	return &dispatcher{
-		srv:    s,
-		tasks:  make(chan *task, s.opts.QueueDepth),
-		byConn: make(map[*conn]int),
+		srv:     s,
+		tasks:   make(chan *task, s.opts.QueueDepth),
+		byConn:  make(map[*conn]int),
+		predKey: make(map[string]int),
 	}
 }
 
@@ -574,6 +670,8 @@ func (d *dispatcher) serveBatch(batch []*task) {
 			d.serveQueries(batch[i:j])
 		case wire.OpUpdate:
 			d.serveUpdates(batch[i:j])
+		case wire.OpPredicate, wire.OpPredicateValues:
+			d.servePredicates(batch[i:j])
 		default:
 			for _, t := range batch[i:j] {
 				d.serveOne(t)
@@ -650,6 +748,146 @@ func (d *dispatcher) serveUpdates(run []*task) {
 	}
 }
 
+// servePredicates answers a segment of predicate requests through the
+// dispatcher's planner. Coalescing here is deduplication: requests in
+// the window carrying the same canonical predicate bytes, target and
+// projection share one planner descent — concurrent clients asking the
+// same question pay for one answer, the predicate analog of the
+// QueryBatch collapse. The planner itself is rebuilt lazily when the
+// path registration table's generation moves.
+func (d *dispatcher) servePredicates(run []*task) {
+	s := d.srv
+	s.nPredRequests.Add(uint64(len(run)))
+	tab := s.paths.Load()
+	if d.pl == nil || d.plGen != tab.gen {
+		d.pl = plan.NewPlanner(s.opts.Store)
+		for _, r := range tab.byID {
+			if r.src != nil {
+				d.pl.Register(r.path, r.src, r.ps) //nolint:errcheck // path and src are non-nil by construction
+			}
+		}
+		d.plGen = tab.gen
+	}
+	if len(run) == 1 {
+		d.servePredGroup(tab, run)
+		return
+	}
+	clear(d.predKey)
+	d.predGroups = d.predGroups[:0]
+	for _, t := range run {
+		// The canonical encoding doubles as the dedup key: a decoded tree
+		// re-encodes to exactly the bytes it arrived as, so byte equality
+		// is tree equality. Class is length-prefixed so a hostile class
+		// name cannot splice itself into the attr.
+		d.keyBuf = wire.AppendPredNode(d.keyBuf[:0], &t.req.Pred)
+		if t.req.Hierarchy {
+			d.keyBuf = append(d.keyBuf, 1)
+		} else {
+			d.keyBuf = append(d.keyBuf, 0)
+		}
+		d.keyBuf = append(d.keyBuf, byte(len(t.class)>>8), byte(len(t.class)))
+		d.keyBuf = append(d.keyBuf, t.class...)
+		d.keyBuf = append(d.keyBuf, t.attr...)
+		gi, ok := d.predKey[string(d.keyBuf)]
+		if !ok {
+			gi = len(d.predGroups)
+			if cap(d.predGroups) > gi {
+				d.predGroups = d.predGroups[:gi+1]
+				d.predGroups[gi] = d.predGroups[gi][:0]
+			} else {
+				d.predGroups = append(d.predGroups, nil)
+			}
+			d.predKey[string(d.keyBuf)] = gi
+		}
+		d.predGroups[gi] = append(d.predGroups[gi], t)
+	}
+	for gi := range d.predGroups {
+		d.servePredGroup(tab, d.predGroups[gi])
+		d.predGroups[gi] = d.predGroups[gi][:0] // drop task pointers; slots are pooled
+	}
+}
+
+// servePredGroup answers one group of identical predicate requests with
+// a single planner descent. A failure — unresolvable path id, planner
+// rejection, execution error — answers only this group's requests with
+// the error; a poisoned plan never fails the other predicates sharing
+// the window, the same isolation the batched query path gives a
+// poisoned probe.
+func (d *dispatcher) servePredGroup(tab *pathTable, run []*task) {
+	d.srv.nPredDescents.Add(1)
+	t0 := run[0]
+	fail := func(err error) {
+		for _, t := range run {
+			d.reply(t, nil, err)
+		}
+	}
+	pred, err := buildPredicate(tab, &t0.req.Pred)
+	if err != nil {
+		fail(err)
+		return
+	}
+	p, err := d.pl.Plan(pred, t0.class, t0.req.Hierarchy)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if t0.req.Op == wire.OpPredicateValues {
+		vals, err := p.ExecuteValues(t0.attr)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, t := range run {
+			d.replyValues(t, vals)
+		}
+		return
+	}
+	oids, err := p.Execute()
+	if err != nil {
+		fail(err)
+		return
+	}
+	for _, t := range run {
+		d.reply(t, oids, nil)
+	}
+}
+
+// buildPredicate converts a wire tree into a planner predicate,
+// resolving path ids through the registration table. The structure is
+// preserved node for node — raw Leaf/AndNode/OrNode, not the flattening
+// constructors — so a wire tree yields exactly the predicate an
+// embedded caller would have built, including the planner's own
+// validation errors for degenerate shapes (empty conjunctions,
+// mixed-kind range bounds).
+func buildPredicate(tab *pathTable, n *wire.PredNode) (plan.Predicate, error) {
+	switch n.Kind {
+	case wire.PredEq, wire.PredRange:
+		r, ok := tab.byID[n.PathID]
+		if !ok {
+			return nil, fmt.Errorf("netserver: predicate path id %d is not registered", n.PathID)
+		}
+		if n.Kind == wire.PredEq {
+			return &plan.Leaf{Path: r.path, Op: plan.OpEq, Value: n.Value}, nil
+		}
+		return &plan.Leaf{Path: r.path, Op: plan.OpRange, Lo: n.Lo, Hi: n.Hi}, nil
+	case wire.PredAnd, wire.PredOr:
+		kids := make([]plan.Predicate, 0, len(n.Kids))
+		for i := range n.Kids {
+			kid, err := buildPredicate(tab, &n.Kids[i])
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, kid)
+		}
+		if n.Kind == wire.PredAnd {
+			return &plan.AndNode{Kids: kids}, nil
+		}
+		return &plan.OrNode{Kids: kids}, nil
+	default:
+		return nil, fmt.Errorf("netserver: unknown predicate kind %d", n.Kind)
+	}
+}
+
 // serveOne answers a single request directly against the backend.
 func (d *dispatcher) serveOne(t *task) {
 	s := d.srv
@@ -686,6 +924,18 @@ func (d *dispatcher) reply(t *task, oids []oodb.OID, err error) {
 	} else {
 		d.rbuf = wire.AppendOKOIDs(d.rbuf[:0], t.req.ID, oids)
 	}
+	d.bundleReply(t)
+}
+
+// replyValues is reply for the value-projection response shape.
+func (d *dispatcher) replyValues(t *task, vals []oodb.Value) {
+	d.rbuf = wire.AppendOKValues(d.rbuf[:0], t.req.ID, vals)
+	d.bundleReply(t)
+}
+
+// bundleReply frames the payload sitting in rbuf into t's connection
+// bundle and releases the task.
+func (d *dispatcher) bundleReply(t *task) {
 	c := t.conn
 	i, ok := d.byConn[c]
 	if !ok {
@@ -769,4 +1019,11 @@ func (s *Server) Workloads() []stats.Workload {
 // an earlier request (the coalesced count).
 func (s *Server) CoalesceStats() (requests, batches, coalesced uint64) {
 	return s.nRequests.Load(), s.nBatches.Load(), s.nCoalesced.Load()
+}
+
+// PredicateStats reports how many requests the planner dispatch path
+// has served and how many planner descents they cost; descents below
+// requests means coalesced windows shared identical predicates.
+func (s *Server) PredicateStats() (requests, descents uint64) {
+	return s.nPredRequests.Load(), s.nPredDescents.Load()
 }

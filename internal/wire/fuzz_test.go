@@ -16,6 +16,7 @@ import (
 // any buffer grows). Valid frames must round-trip.
 func FuzzFrameDecode(f *testing.F) {
 	attrs := map[string][]oodb.Value{"name": {oodb.StrV("val-00001")}, "man": {oodb.RefV(9)}}
+	pred := AndPred(EqPred(1, oodb.IntV(30)), OrPred(EqPred(2, oodb.StrV("red")), EqPred(2, oodb.StrV("blue"))))
 	seeds := [][]byte{
 		AppendFrame(nil, AppendPing(nil, 1)),
 		AppendFrame(nil, AppendQuery(nil, 2, oodb.StrV("val-00001"), "Person", true)),
@@ -25,6 +26,9 @@ func FuzzFrameDecode(f *testing.F) {
 		AppendFrame(nil, AppendDelete(nil, 6, 42)),
 		AppendFrame(nil, AppendOKOIDs(nil, 7, []oodb.OID{1, 2, 3})),
 		AppendFrame(nil, AppendError(nil, 8, "engine: no object 9")),
+		AppendFrame(nil, AppendPredicate(nil, 10, &pred, "Person", true)),
+		AppendFrame(nil, AppendPredicateValues(nil, 11, &pred, "age", "Person", false)),
+		AppendFrame(nil, AppendOKValues(nil, 12, []oodb.Value{oodb.IntV(30), oodb.StrV("red")})),
 		{0, 0, 0, 5, 1, 2, 3, 4, 'x'},        // bad checksum
 		{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, // oversized declared length
 		{},                                   // empty
@@ -70,6 +74,10 @@ func FuzzFrameDecode(f *testing.F) {
 				re = AppendUpdate(nil, req.ID, req.OID, req.Attrs)
 			case OpDelete:
 				re = AppendDelete(nil, req.ID, req.OID)
+			case OpPredicate:
+				re = AppendPredicate(nil, req.ID, &req.Pred, string(req.Class), req.Hierarchy)
+			case OpPredicateValues:
+				re = AppendPredicateValues(nil, req.ID, &req.Pred, string(req.Attr), string(req.Class), req.Hierarchy)
 			}
 			if !bytes.Equal(re, payload) {
 				t.Fatalf("request does not round-trip: % x vs % x", re, payload)

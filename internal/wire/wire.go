@@ -57,12 +57,22 @@ const (
 	OpInsert     byte = 4 // class, attrs
 	OpUpdate     byte = 5 // oid, attrs
 	OpDelete     byte = 6 // oid
+	// OpPredicate evaluates a predicate tree (predicate.go): class,
+	// hierarchy, tree. Answered with a StatusOK OID list.
+	OpPredicate byte = 7
+	// OpPredicateValues evaluates a predicate tree and projects one
+	// attribute of each match: attr, class, hierarchy, tree. Answered
+	// with a StatusOKValues value list.
+	OpPredicateValues byte = 8
 )
 
 // Response statuses.
 const (
 	StatusOK  byte = 0
 	StatusErr byte = 1
+	// StatusOKValues is a success carrying a count-prefixed value list —
+	// the response shape of OpPredicateValues.
+	StatusOKValues byte = 2
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -203,10 +213,12 @@ type Request struct {
 	Op        byte
 	Value     oodb.Value              // OpQuery
 	Lo, Hi    oodb.Value              // OpQueryRange
-	Class     []byte                  // OpQuery, OpQueryRange, OpInsert — aliases the input
-	Hierarchy bool                    // OpQuery, OpQueryRange
+	Class     []byte                  // OpQuery, OpQueryRange, OpInsert, OpPredicate* — aliases the input
+	Hierarchy bool                    // OpQuery, OpQueryRange, OpPredicate*
 	OID       oodb.OID                // OpUpdate, OpDelete
 	Attrs     map[string][]oodb.Value // OpInsert, OpUpdate
+	Pred      PredNode                // OpPredicate, OpPredicateValues — owned
+	Attr      []byte                  // OpPredicateValues — aliases the input
 }
 
 // PeekID extracts the request id from a payload that is at least long
@@ -269,6 +281,23 @@ func DecodeRequest(b []byte, req *Request) error {
 		}
 		req.OID = oodb.OID(binary.BigEndian.Uint64(b))
 		b = b[8:]
+	case OpPredicate:
+		if req.Class, req.Hierarchy, b, err = decodeClassHier(b); err != nil {
+			return err
+		}
+		if req.Pred, b, err = DecodePredicate(b); err != nil {
+			return err
+		}
+	case OpPredicateValues:
+		if req.Attr, b, err = decodeBytes16(b); err != nil {
+			return err
+		}
+		if req.Class, req.Hierarchy, b, err = decodeClassHier(b); err != nil {
+			return err
+		}
+		if req.Pred, b, err = DecodePredicate(b); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("wire: unknown opcode %d", req.Op)
 	}
@@ -324,8 +353,9 @@ func AppendError(dst []byte, id uint64, msg string) []byte {
 type Response struct {
 	ID     uint64
 	Status byte
-	OIDs   []oodb.OID // StatusOK result list (capacity reused across decodes)
-	Err    []byte     // StatusErr message — aliases the input
+	OIDs   []oodb.OID   // StatusOK result list (capacity reused across decodes)
+	Vals   []oodb.Value // StatusOKValues result list (capacity reused; strings owned)
+	Err    []byte       // StatusErr message — aliases the input
 }
 
 // DecodeResponse decodes one response payload into resp, reusing
@@ -339,6 +369,7 @@ func DecodeResponse(b []byte, resp *Response) error {
 	resp.ID = binary.BigEndian.Uint64(b[0:8])
 	resp.Status = b[8]
 	resp.OIDs = resp.OIDs[:0]
+	resp.Vals = resp.Vals[:0]
 	resp.Err = nil
 	b = b[9:]
 	switch resp.Status {
@@ -355,6 +386,26 @@ func DecodeResponse(b []byte, resp *Response) error {
 		}
 		for i := uint32(0); i < n; i++ {
 			resp.OIDs = append(resp.OIDs, oodb.OID(binary.BigEndian.Uint64(b[8*i:])))
+		}
+	case StatusOKValues:
+		if len(b) < 4 {
+			return fmt.Errorf("wire: truncated result count")
+		}
+		n := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		// Values are variable-width, so the count cannot be length-checked
+		// up front; decoding one value at a time means a corrupt count
+		// runs out of bytes instead of pre-allocating against it.
+		var err error
+		var v oodb.Value
+		for i := uint32(0); i < n; i++ {
+			if v, b, err = oodb.DecodeValue(b); err != nil {
+				return err
+			}
+			resp.Vals = append(resp.Vals, v)
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("wire: result has %d trailing bytes", len(b))
 		}
 	case StatusErr:
 		if len(b) < 4 {
