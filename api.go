@@ -1,9 +1,6 @@
 package ooindex
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/engine"
@@ -428,19 +425,7 @@ func NaiveQuery(st *Store, p *Path, value Value, targetClass string, hierarchy b
 // (the Section 6 "further research" extension): per-path configurations
 // plus the deduplicated set of physical subpath indexes, where paths
 // sharing a structurally identical indexed subpath share one structure.
-type MultiPlan struct {
-	// Configs holds the optimal configuration of each input path.
-	Configs []Configuration
-	// SharedSubpaths lists the physical structures shared by at least two
-	// paths, rendered as "Class.Attr...Attr/ORG".
-	SharedSubpaths []string
-	// TotalCost is the summed processing cost after sharing: a shared
-	// structure's maintenance-only duplicates are counted once.
-	TotalCost float64
-	// UnsharedCost is the cost without sharing (the sum of the per-path
-	// optima), for comparison.
-	UnsharedCost float64
-}
+type MultiPlan = core.MultiPlan
 
 // SelectBatch runs the full selection for many paths concurrently — one
 // worker per CPU — reusing pooled cost-matrix buffers across paths, and
@@ -451,65 +436,33 @@ func SelectBatch(pss []*PathStats, orgs []Organization) ([]Result, error) {
 	return core.SelectBatch(pss, orgs)
 }
 
+// SelectBatchWeighted is SelectBatch with every path's load triplets
+// re-derived from a recorded workload snapshot (engine.WorkloadSnapshot,
+// shard.DB.WorkloadSnapshot) before selection — observed class
+// frequencies, range probes priced as ranges, residual predicate leaves
+// as query load. A zero-valued snapshot selects on the caller's
+// statistics unchanged, bit for bit.
+func SelectBatchWeighted(pss []*PathStats, orgs []Organization, w Workload) ([]Result, error) {
+	return core.SelectBatchWeighted(pss, orgs, w)
+}
+
 // SelectMulti selects configurations for several paths and merges
 // structurally identical indexed subpaths. Paths must share a schema.
 // The per-path selections run concurrently; the merge is deterministic in
 // input order.
 func SelectMulti(pss []*PathStats, orgs []Organization) (MultiPlan, error) {
-	var mp MultiPlan
-	if len(pss) == 0 {
-		return mp, fmt.Errorf("ooindex: no paths given")
-	}
-	// Per-path selections are independent; SelectEach fans them out over
-	// the CPUs (splitting the budget with matrix-level parallelism) and
-	// keeps the matrices, which the sharing merge below needs.
-	results, ms, errs := core.SelectEach(pss, orgs)
-	// Sharing model: a physical structure (identical subpath and
-	// organization) is maintained once, so its maintenance cost (including
-	// the Definition 4.2 boundary charge) is counted once across paths;
-	// each path's query load on the structure is genuinely additional and
-	// is charged per path.
-	type physical struct {
-		maint float64 // maximum per-path maintenance cost (identical stats
-		// yield identical values; max is the conservative merge)
-		n int
-	}
-	structures := make(map[string]*physical)
-	for i, ps := range pss {
-		if errs[i] != nil {
-			return mp, errs[i]
-		}
-		res, m := results[i], ms[i]
-		mp.Configs = append(mp.Configs, res.Best)
-		mp.UnsharedCost += res.Best.Cost
-		for _, asg := range res.Best.Assignments {
-			sp, err := ps.Path.SubPath(asg.A, asg.B)
-			if err != nil {
-				return mp, err
-			}
-			entry, ok := m.Entry(asg.A, asg.B, asg.Org)
-			if !ok {
-				return mp, fmt.Errorf("ooindex: missing matrix entry for %s", sp)
-			}
-			key := sp.String() + "/" + asg.Org.String()
-			maint := entry.SC.Maint + entry.SC.CMD
-			mp.TotalCost += entry.SC.Query
-			if st, ok := structures[key]; ok {
-				st.n++
-				if maint > st.maint {
-					st.maint = maint
-				}
-			} else {
-				structures[key] = &physical{maint: maint, n: 1}
-			}
-		}
-	}
-	for key, st := range structures {
-		mp.TotalCost += st.maint
-		if st.n > 1 {
-			mp.SharedSubpaths = append(mp.SharedSubpaths, key)
-		}
-	}
-	sort.Strings(mp.SharedSubpaths)
-	return mp, nil
+	return core.SelectMulti(pss, orgs)
+}
+
+// SelectMultiWeighted is SelectMulti weighted by a recorded workload
+// snapshot: per-path load triplets are re-derived from the observed class
+// counters and predicate mix (normalized fleet-wide, so paths keep their
+// relative traffic), a residual-heavy path earns an index on its cost
+// merits, and a path the workload never touched sheds its indexes to the
+// explicit NONE assignment when NONE is among the candidate
+// organizations. With a zero-valued snapshot the result is bit-identical
+// to SelectMulti — the degradation contract the weighted-equivalence
+// property suite enforces.
+func SelectMultiWeighted(pss []*PathStats, orgs []Organization, w Workload) (MultiPlan, error) {
+	return core.SelectMultiWeighted(pss, orgs, w)
 }

@@ -34,6 +34,10 @@
 //	                          # planner dispatch vs per-request dispatch
 //	                          # vs the embedded planner (E8); emits
 //	                          # BENCH_netplan.json
+//	ixbench -run feedback     # workload-fed selection vs the static
+//	                          # design-time selection under a skewed
+//	                          # recorded mix (E9); emits
+//	                          # BENCH_feedback.json
 package main
 
 import (
@@ -66,6 +70,7 @@ var modes = []struct{ name, desc string }{
 	{"plan", "conjunctive planner: selectivity ordering and shard-summary pruning; emits BENCH_plan.json (E6)"},
 	{"net", "networked serving: pipelined+coalesced wire protocol vs embedded at 1/8/64/256 connections; emits BENCH_net.json (E7)"},
 	{"netplan", "predicate trees over the wire: coalesced planner dispatch vs per-request vs embedded at 1/8/64 connections; emits BENCH_netplan.json (E8)"},
+	{"feedback", "workload-fed vs static selection under a skewed recorded mix; emits BENCH_feedback.json (E9)"},
 }
 
 func usage() {
@@ -103,16 +108,18 @@ func main() {
 	netOut := flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON report")
 	netplanOps := flag.Int("netplan-ops", 1000, "operations per connection in the netplan experiment")
 	netplanOut := flag.String("netplan-out", "BENCH_netplan.json", "output file for the netplan experiment's JSON report")
+	feedbackOps := flag.Int("feedback-ops", 2000, "measured operations per arm in the feedback experiment")
+	feedbackOut := flag.String("feedback-out", "BENCH_feedback.json", "output file for the feedback experiment's JSON report")
 	flag.Usage = usage
 	flag.Parse()
 
-	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut, *netOps, *netOut, *netplanOps, *netplanOut); err != nil {
+	if err := runExperiments(*run, *maxN, *trials, *seed, *serveOps, *serveOut, *maintainOps, *maintainOut, *shardOps, *shardOut, *durableOps, *durableOut, *planOps, *planOut, *netOps, *netOut, *netplanOps, *netplanOut, *feedbackOps, *feedbackOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string, netOps int, netOut string, netplanOps int, netplanOut string) error {
+func runExperiments(which string, maxN, trials int, seed int64, serveOps int, serveOut string, maintainOps int, maintainOut string, shardOps int, shardOut string, durableOps int, durableOut string, planOps int, planOut string, netOps int, netOut string, netplanOps int, netplanOut string, feedbackOps int, feedbackOut string) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -279,6 +286,18 @@ func runExperiments(which string, maxN, trials int, seed int64, serveOps int, se
 		}
 		fmt.Println(rep.Render())
 		if err := writeJSON(netplanOut, rep); err != nil {
+			return err
+		}
+	}
+	if want("feedback") {
+		ran = true
+		section("E9 — workload-fed vs static selection")
+		rep, err := experiments.RunFeedback(seed, feedbackOps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if err := writeJSON(feedbackOut, rep); err != nil {
 			return err
 		}
 	}

@@ -233,6 +233,32 @@
 // skewed sharded workload — and writes BENCH_plan.json; DESIGN.md §9
 // records the design. See examples/planner for an end-to-end program.
 //
+// # Selection feedback
+//
+// The recorded workload feeds back into selection — the loop the
+// paper's design-time load triplets leave open. SelectMultiWeighted
+// and SelectBatchWeighted take a Workload snapshot and re-derive every
+// path's query/update frequencies from it before selecting: class
+// counters normalize over the fleet-wide evidence total (so paths keep
+// their relative traffic through the shared-subpath cost merge),
+// recorded range probes move query mass to range pricing, and residual
+// predicate leaves — conjuncts served by store navigation for lack of
+// an index — enter as root-class query load, so a residual-heavy path
+// earns an index on its cost merits and a never-probed path sheds its
+// own (an explicit whole-path NONE assignment when NONE is among the
+// candidates). A zero-valued snapshot degrades to the unweighted
+// selection bit for bit. The engines consume the same derivation:
+// Advise and Reconfigure weigh the live snapshot (a sharded facade
+// pushes its fleet-level predicate mix down into each shard's advice),
+// a durable engine's predicate mix survives Close and reopen via the
+// checkpoint manifest, and because advice and drift share one
+// derivation the loop reaches a fixed point in one step — re-driving
+// the mix an adopted configuration was selected from measures ~zero
+// drift and advises no further change. Experiment E9 (ixbench -run
+// feedback) measures workload-fed against static selection under a
+// skewed recorded mix and writes BENCH_feedback.json; DESIGN.md §12
+// records the model.
+//
 // # Serving over the network
 //
 // NewNetServer puts any backend with the engine's serving surface — a

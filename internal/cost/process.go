@@ -36,7 +36,14 @@ func ProcessingCost(e *Evaluator) (SubpathCost, error) {
 
 	// Queries with respect to the classes of the subpath's own scope. With
 	// a positive Selectivity the workload's queries are range predicates
-	// (Section 3's extension); otherwise equality predicates.
+	// (Section 3's extension); otherwise equality predicates. The Rho
+	// component is always priced as a range predicate — at the declared
+	// Selectivity, or the default when the path declares none — so an
+	// observed mixed equality/range mix prices each part correctly.
+	rsel := ps.Selectivity
+	if rsel == 0 {
+		rsel = model.DefaultRangeSelectivity
+	}
 	query := func(l int, class string) (float64, error) {
 		if ps.Selectivity > 0 {
 			return e.QueryRange(l, class, ps.Selectivity)
@@ -52,22 +59,30 @@ func ProcessingCost(e *Evaluator) (SubpathCost, error) {
 	for l := a; l <= b; l++ {
 		ls := ps.Level(l)
 		for x, c := range ls.Classes {
-			alpha := ls.Loads[x].Alpha
-			if alpha == 0 {
-				continue
+			ld := ls.Loads[x]
+			if ld.Alpha != 0 {
+				q, err := query(l, c.Class)
+				if err != nil {
+					return out, err
+				}
+				out.Query += ld.Alpha * q
 			}
-			q, err := query(l, c.Class)
-			if err != nil {
-				return out, err
+			if ld.Rho != 0 {
+				q, err := e.QueryRange(l, c.Class, rsel)
+				if err != nil {
+					return out, err
+				}
+				out.Query += ld.Rho * q
 			}
-			out.Query += alpha * q
 		}
 	}
 	// Inherited query load from the classes preceding the subpath.
 	if a > 1 {
-		var extra float64
+		var extra, extraR float64
 		for l := 1; l < a; l++ {
-			extra += ps.Level(l).TotalLoad().Alpha
+			tl := ps.Level(l).TotalLoad()
+			extra += tl.Alpha
+			extraR += tl.Rho
 		}
 		if extra > 0 {
 			q, err := queryHier(a)
@@ -75,6 +90,13 @@ func ProcessingCost(e *Evaluator) (SubpathCost, error) {
 				return out, err
 			}
 			out.Query += extra * q
+		}
+		if extraR > 0 {
+			q, err := e.QueryRangeHierarchy(a, rsel)
+			if err != nil {
+				return out, err
+			}
+			out.Query += extraR * q
 		}
 	}
 	// Maintenance on the subpath's own scope.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/oodb"
 	"repro/internal/schema"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -126,6 +127,14 @@ type manifest struct {
 	FirstOID  uint64             `json:"first_oid"`
 	OIDStride uint64             `json:"oid_stride"`
 	Config    core.Configuration `json:"config"`
+	// Predicates is the observed predicate mix at checkpoint time. The
+	// class-level recorder deliberately resets on reconfiguration, but the
+	// predicate mix is selection *evidence* — the feedback signal that
+	// makes a residual-heavy path earn an index — so dropping it across a
+	// restart would silently discard exactly the traffic that never
+	// reached an index. Reopen seeds the recorder with these counts.
+	// Absent (nil) in manifests from before the field existed.
+	Predicates []stats.PredLoad `json:"predicates,omitempty"`
 }
 
 // durable is the engine's durability state. All mutable fields are
@@ -155,6 +164,7 @@ func OpenDurable(dir string, s *schema.Schema, p *schema.Path, cfg core.Configur
 	os.Remove(filepath.Join(dir, snapName+".tmp"))
 	os.Remove(filepath.Join(dir, manifestName+".tmp"))
 
+	var predSeed []stats.PredLoad
 	if m, ok, err := readManifest(dir); err != nil {
 		return nil, err
 	} else if ok {
@@ -166,6 +176,7 @@ func OpenDurable(dir string, s *schema.Schema, p *schema.Path, cfg core.Configur
 				dir, m.FirstOID, m.OIDStride, opts.FirstOID, opts.OIDStride)
 		}
 		cfg = m.Config
+		predSeed = m.Predicates
 	}
 
 	// pages.db is rebuilt by traffic, never recovered from: truncate away
@@ -217,6 +228,12 @@ func OpenDurable(dir string, s *schema.Schema, p *schema.Path, cfg core.Configur
 		return nil, err
 	}
 	e.dur = d
+	// The checkpointed predicate mix survives the restart: re-selection
+	// evidence for traffic no index absorbed must not vanish with the
+	// process (the class recorder's counters are cheap to re-earn; the
+	// residual signal is precisely the traffic a restart would otherwise
+	// erase from the feedback loop).
+	e.preds.Merge(predSeed)
 	// Recovery and index-build page traffic is not served workload: start
 	// the cost counters clean.
 	st.Pager().ResetStats()
@@ -364,11 +381,12 @@ func (e *Engine) checkpointLocked() error {
 		return fail(err)
 	}
 	m := manifest{
-		Version:   1,
-		PageSize:  e.pageSize,
-		FirstOID:  uint64(firstOf(e.store)),
-		OIDStride: strideOf(e.store),
-		Config:    e.active.Load().Config(),
+		Version:    1,
+		PageSize:   e.pageSize,
+		FirstOID:   uint64(firstOf(e.store)),
+		OIDStride:  strideOf(e.store),
+		Config:     e.active.Load().Config(),
+		Predicates: e.preds.Snapshot(),
 	}
 	if err := d.writeManifest(m); err != nil {
 		return fail(err)

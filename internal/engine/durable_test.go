@@ -4,10 +4,12 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/model"
 	"repro/internal/oodb"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -237,5 +239,66 @@ func TestDurableWorkloadSnapshotCarriesDurabilityCost(t *testing.T) {
 	ds := e.DurabilityStats()
 	if w.Fsyncs != ds.Fsyncs || w.WALBytes != ds.WALBytes {
 		t.Fatalf("snapshot (%d,%d) disagrees with DurabilityStats (%d,%d)", w.Fsyncs, w.WALBytes, ds.Fsyncs, ds.WALBytes)
+	}
+}
+
+// TestDurablePredicateMixSurvivesReopen pins the persistence of the
+// observed predicate mix: the residual/range counts that feed the
+// selection loop (stats.MergeObserved's predicate refinements) must
+// survive Close → OpenDurable, because residual leaves never reach the
+// class recorder and would otherwise vanish from the feedback loop on
+// every restart.
+func TestDurablePredicateMixSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e := openTestDurable(t, dir, DurableOptions{})
+	pathName := e.Path().String()
+	for i := 0; i < 40; i++ {
+		e.RecordPredicate(pathName, stats.PredEq)
+	}
+	for i := 0; i < 25; i++ {
+		e.RecordPredicate(pathName, stats.PredRange)
+	}
+	for i := 0; i < 90; i++ {
+		e.RecordPredicate(pathName, stats.PredResidual)
+	}
+	e.RecordPredicate("other.path", stats.PredResidual)
+	want := e.WorkloadSnapshot().Predicates
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openTestDurable(t, dir, DurableOptions{})
+	got := e2.WorkloadSnapshot().Predicates
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened predicate mix %+v, want %+v", got, want)
+	}
+	// The restored counts are live evidence, not an archive: recording
+	// continues on top of them.
+	e2.RecordPredicate(pathName, stats.PredResidual)
+	after := e2.WorkloadSnapshot().Predicates
+	var res, wantRes uint64
+	for _, p := range after {
+		if p.Path == pathName {
+			res = p.Residual
+		}
+	}
+	for _, p := range want {
+		if p.Path == pathName {
+			wantRes = p.Residual
+		}
+	}
+	if res != wantRes+1 {
+		t.Fatalf("post-reopen residual count %d, want %d", res, wantRes+1)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second reopen must carry the accumulated mix — the close-time
+	// checkpoint re-persists what recording added.
+	e3 := openTestDurable(t, dir, DurableOptions{})
+	defer e3.Close()
+	if got := e3.WorkloadSnapshot().Predicates; !reflect.DeepEqual(got, after) {
+		t.Fatalf("second reopen predicate mix %+v, want %+v", got, after)
 	}
 }

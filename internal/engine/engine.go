@@ -406,13 +406,26 @@ func (e *Engine) Drift() float64 {
 	return d
 }
 
+// observedWorkload is the recorder snapshot selection and drift consume:
+// the class-level counters plus the live predicate mix, which refines the
+// load derivation (range reclassification, residual query mass — see
+// stats.MergeObserved).
+func (e *Engine) observedWorkload() stats.Workload {
+	w := e.rec.Snapshot()
+	w.Predicates = e.preds.Snapshot()
+	return w
+}
+
 // DriftStats returns one workload snapshot together with the drift it
 // implies — for callers that need both consistently (the sharded
 // aggregate weights each shard's drift by the operation count of the
-// very snapshot the drift was computed from).
+// very snapshot the drift was computed from). Residual predicate leaves
+// count as evidence alongside the class-level operations: a path served
+// entirely by store navigation still accumulates drift against a
+// baseline that assumed no query traffic.
 func (e *Engine) DriftStats() (stats.Workload, float64) {
-	w := e.rec.Snapshot()
-	if w.Total < e.opts.MinOps {
+	w := e.observedWorkload()
+	if w.EvidenceFor(e.path.String()) < e.opts.MinOps {
 		return w, 0
 	}
 	base := e.baseline.Load()
@@ -423,12 +436,21 @@ func (e *Engine) DriftStats() (stats.Workload, float64) {
 }
 
 // Advise re-collects statistics from the live store, merges the observed
-// workload frequencies in, and runs the selection algorithm — without
-// touching the active configuration. The returned advice carries the
-// exact PathStats used, so the recommendation is reproducible offline.
-func (e *Engine) Advise() (Advice, error) {
+// workload frequencies in — class counters and the recorded predicate
+// mix together — and runs the selection algorithm, without touching the
+// active configuration. The returned advice carries the exact PathStats
+// used, so the recommendation is reproducible offline.
+func (e *Engine) Advise() (Advice, error) { return e.AdviseObserved(nil) }
+
+// AdviseObserved is Advise with additional observed predicate loads
+// merged into the engine's own recorded mix before the load derivation —
+// the channel a facade above several engines (shard.DB) uses to push its
+// fleet-level predicate observations down into each engine's selection.
+// Every value query fans out to every shard, so facade-level predicate
+// traffic describes each shard's serving work, not a share of it.
+func (e *Engine) AdviseObserved(extra []stats.PredLoad) (Advice, error) {
 	adv := Advice{Current: e.Config(), Drift: e.Drift()}
-	ps, err := e.observedStats()
+	ps, err := e.observedStats(extra)
 	if err != nil {
 		return adv, err
 	}
@@ -450,13 +472,21 @@ func (e *Engine) Advise() (Advice, error) {
 // scanned from the live store, loads from the observed workload when
 // there is enough of it, else from the baseline assumption. With neither
 // it errors — selecting on all-zero load triplets would swap to an
-// arbitrary tie-broken configuration justified by no evidence.
-func (e *Engine) observedStats() (*model.PathStats, error) {
+// arbitrary tie-broken configuration justified by no evidence. Evidence
+// counts the recorded class-level operations plus the path's residual
+// predicate leaves (extra included): traffic an index would absorb is
+// evidence for selecting one, even when every probe fell back to store
+// navigation.
+func (e *Engine) observedStats(extra []stats.PredLoad) (*model.PathStats, error) {
 	ps, err := stats.Collect(e.store, e.path, e.opts.Params)
 	if err != nil {
 		return nil, err
 	}
-	if w := e.rec.Snapshot(); w.Total >= e.opts.MinOps {
+	w := e.observedWorkload()
+	if len(extra) > 0 {
+		w.Predicates = stats.MergePredLoads(w.Predicates, extra)
+	}
+	if w.EvidenceFor(e.path.String()) >= e.opts.MinOps {
 		if err := stats.MergeObserved(ps, w); err != nil {
 			return nil, err
 		}
@@ -476,8 +506,12 @@ func (e *Engine) observedStats() (*model.PathStats, error) {
 // cycle synchronously. When the recommendation matches the active
 // configuration no swap happens (Report.Changed is false), but the drift
 // baseline still advances to the statistics just confirmed.
-func (e *Engine) Reconfigure() (Report, error) {
-	adv, err := e.Advise()
+func (e *Engine) Reconfigure() (Report, error) { return e.ReconfigureObserved(nil) }
+
+// ReconfigureObserved is Reconfigure advising with additional observed
+// predicate loads (see AdviseObserved).
+func (e *Engine) ReconfigureObserved(extra []stats.PredLoad) (Report, error) {
+	adv, err := e.AdviseObserved(extra)
 	if err != nil {
 		return Report{From: adv.Current, Drift: adv.Drift}, err
 	}
@@ -492,7 +526,7 @@ func (e *Engine) Reconfigure() (Report, error) {
 // the assumption behind the previous configuration.
 func (e *Engine) ApplyConfiguration(cfg core.Configuration) (Report, error) {
 	var used *model.PathStats
-	if w := e.rec.Snapshot(); w.Total >= e.opts.MinOps {
+	if w := e.observedWorkload(); w.EvidenceFor(e.path.String()) >= e.opts.MinOps {
 		ps := model.NewPathStats(e.path, e.opts.Params)
 		if err := stats.MergeObserved(ps, w); err == nil {
 			used = ps

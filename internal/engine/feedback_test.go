@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// driveSkewedMix replays a deterministic, skewed read-only mix against
+// the engine: heavy equality probes at the path's end class, a thinner
+// stream of hierarchy probes recorded as range predicates, and a large
+// residual stream — planner conjunct leaves the engine answered by store
+// navigation because no index covered them. Read-only on purpose: the
+// store's cardinalities stay fixed, so replaying the mix twice presents
+// selection with the same inputs twice.
+func driveSkewedMix(t testing.TB, e *Engine, g *gen.Generated) {
+	t.Helper()
+	pathName := e.Path().String()
+	values := g.EndValues
+	if len(values) > 10 {
+		values = values[:10]
+	}
+	for round := 0; round < 3; round++ {
+		for i, v := range values {
+			if _, err := e.Query(v, "Person", false); err != nil {
+				t.Fatal(err)
+			}
+			e.RecordPredicate(pathName, stats.PredEq)
+			if i%2 == 0 {
+				if _, err := e.Query(v, "Vehicle", true); err != nil {
+					t.Fatal(err)
+				}
+				e.RecordPredicate(pathName, stats.PredRange)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		e.RecordPredicate(pathName, stats.PredResidual)
+	}
+}
+
+// TestFeedbackLoopReachesFixedPoint closes the observe -> select loop and
+// pins that it converges in one step: drive a skewed mix, take the
+// workload-fed advice, apply it, re-drive the identical mix, and the
+// second advice must confirm the adopted configuration (no further swap)
+// with the measured drift against the adopted baseline near zero. This
+// is the scale-invariance of the load derivation made observable: the
+// baseline adopted from MergeObserved and the re-driven mix describe the
+// same distribution, so the loop has nowhere further to move.
+func TestFeedbackLoopReachesFixedPoint(t *testing.T) {
+	g := figure7DB(t)
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{MinOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSkewedMix(t, e, g)
+
+	adv1, err := e.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv1.Stats == nil {
+		t.Fatal("first advice carried no statistics despite recorded evidence")
+	}
+	rep, err := e.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.To.Equal(adv1.Config) {
+		t.Fatalf("Reconfigure applied %+v, advice said %+v", rep.To, adv1.Config)
+	}
+
+	driveSkewedMix(t, e, g)
+	if d := e.Drift(); d > 0.01 {
+		t.Fatalf("drift after re-driving the adopted mix = %v, want ~0", d)
+	}
+	adv2, err := e.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv2.Changed {
+		t.Fatalf("second advice is not a fixed point: current %+v, recommends %+v", adv2.Current, adv2.Config)
+	}
+	if !adv2.Config.Equal(adv1.Config) {
+		t.Fatalf("second advice %+v drifted from first %+v", adv2.Config, adv1.Config)
+	}
+
+	// The loop stays closed: reconfiguring again is a no-op swap.
+	rep2, err := e.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Changed {
+		t.Fatalf("second reconfiguration swapped again: %+v -> %+v", rep2.From, rep2.To)
+	}
+}
+
+// TestFeedbackLoopUnderConcurrentTraffic races the feedback loop against
+// live traffic (run under -race): query goroutines keep recording class
+// counters and predicate leaves while the main goroutine repeatedly
+// advises and reconfigures from the moving snapshot. Every query must
+// keep succeeding across the swaps and every reconfiguration must either
+// confirm or cleanly apply the advice it computed.
+func TestFeedbackLoopUnderConcurrentTraffic(t *testing.T) {
+	// Smaller than figure7DB: the swaps race tight query loops under
+	// -race, where bulk loads run an order of magnitude slower.
+	g, err := gen.Generate(model.Figure7Stats(), 0.004, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g.Store, g.Path, cfgSplit, 1024, Options{MinOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathName := e.Path().String()
+	values := g.EndValues
+	if len(values) > 8 {
+		values = values[:8]
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kinds := []stats.PredKind{stats.PredEq, stats.PredRange, stats.PredResidual}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := values[(i+w)%len(values)]
+				if _, err := e.Query(v, "Person", false); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				e.RecordPredicate(pathName, kinds[(i+w)%len(kinds)])
+			}
+		}(w)
+	}
+	for round := 0; round < 5; round++ {
+		// Guarantee the snapshot holds evidence even if the workers have
+		// not been scheduled yet (each swap resets the window).
+		if _, err := e.Query(values[round%len(values)], "Person", false); err != nil {
+			t.Fatal(err)
+		}
+		e.RecordPredicate(pathName, stats.PredResidual)
+		if _, err := e.Reconfigure(); err != nil {
+			t.Errorf("reconfigure %d: %v", round, err)
+			break
+		}
+		// A mid-round snapshot read races the recorders on purpose.
+		_ = e.WorkloadSnapshot()
+		_ = e.Drift()
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Config().Validate(e.Path().Len()); err != nil {
+		t.Fatalf("final configuration invalid: %v", err)
+	}
+}

@@ -120,15 +120,23 @@ func (c ClassStats) Validate() error {
 // of queries against the ending attribute with respect to the class (Alpha),
 // and the frequencies of insertions (Beta) and deletions (Gamma) on the
 // class. Frequencies are relative weights; they need not sum to one.
+//
+// Rho extends the triplet with an explicit range-query frequency: where
+// Alpha's queries are priced per the path's Selectivity switch (all
+// equality, or all range), Rho's are always priced as range predicates —
+// so one class can carry a mixed equality/range workload, which is what
+// an observed predicate mix (stats.Workload.Predicates) produces. A zero
+// Rho everywhere is exactly the original model.
 type Load struct {
 	Alpha float64 // query frequency
 	Beta  float64 // insertion frequency
 	Gamma float64 // deletion frequency
+	Rho   float64 // range-query frequency (always range-priced)
 }
 
 // Add returns the component-wise sum of two loads.
 func (l Load) Add(o Load) Load {
-	return Load{Alpha: l.Alpha + o.Alpha, Beta: l.Beta + o.Beta, Gamma: l.Gamma + o.Gamma}
+	return Load{Alpha: l.Alpha + o.Alpha, Beta: l.Beta + o.Beta, Gamma: l.Gamma + o.Gamma, Rho: l.Rho + o.Rho}
 }
 
 // LevelStats bundles the statistics of the inheritance hierarchy at one
@@ -209,6 +217,28 @@ type PathStats struct {
 	// its distinct values (Section 3's range-predicate extension). Zero
 	// means equality predicates.
 	Selectivity float64
+}
+
+// DefaultRangeSelectivity is the range-predicate selectivity assumed when
+// a workload carries range-query frequency (Load.Rho) but the path
+// declares none (PathStats.Selectivity zero): the fraction of the ending
+// attribute's distinct values a typical observed range is taken to match.
+// Deliberately small — it mirrors the cold estimate a planner starts a
+// range probe with before cardinality feedback arrives.
+const DefaultRangeSelectivity = 0.05
+
+// Clone returns a deep copy of the statistics: levels, class lists and
+// load triplets are copied, so reweighting the clone (e.g. merging an
+// observed workload in) never mutates the original. The Path pointer is
+// shared — paths are immutable.
+func (ps *PathStats) Clone() *PathStats {
+	out := &PathStats{Path: ps.Path, Params: ps.Params, Selectivity: ps.Selectivity}
+	out.Levels = make([]LevelStats, len(ps.Levels))
+	for i, ls := range ps.Levels {
+		out.Levels[i].Classes = append([]ClassStats(nil), ls.Classes...)
+		out.Levels[i].Loads = append([]Load(nil), ls.Loads...)
+	}
+	return out
 }
 
 // NewPathStats builds a PathStats skeleton with hierarchy class lists

@@ -563,10 +563,18 @@ func (db *DB) QueryBatch(probes []exec.Probe) ([][]oodb.OID, error) {
 // Advise runs one re-selection pass per shard — each over its own
 // collected statistics and observed workload — without touching any
 // active configuration. Advice comes back in shard order.
+//
+// The facade's own predicate mix (planner traffic that treated the
+// sharded database as one source) is pushed down into every shard's
+// derivation: a value predicate fans out to every shard, so the
+// facade-level counts describe serving work each shard performed (or,
+// for residual leaves, would absorb with an index) — not a fraction to
+// be split.
 func (db *DB) Advise() ([]engine.Advice, error) {
+	preds := db.preds.Snapshot()
 	out := make([]engine.Advice, len(db.shards))
 	for i, e := range db.shards {
-		adv, err := e.Advise()
+		adv, err := e.AdviseObserved(preds)
 		if err != nil {
 			return out, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -579,11 +587,15 @@ func (db *DB) Advise() ([]engine.Advice, error) {
 // every shard, each independently: a hot shard can swap to a
 // maintenance-light configuration while a cold one keeps what it has.
 // Reports come back in shard order; the first failing shard stops the
-// sweep (earlier shards keep their new configurations).
+// sweep (earlier shards keep their new configurations). Like Advise, the
+// facade's predicate mix rides into every shard's selection; the facade
+// recorder resets after a full sweep so the next observation window
+// starts clean, mirroring each engine's own post-swap reset.
 func (db *DB) Reconfigure() ([]engine.Report, error) {
+	preds := db.preds.Snapshot()
 	out := make([]engine.Report, len(db.shards))
 	for i, e := range db.shards {
-		rep, err := e.Reconfigure()
+		rep, err := e.ReconfigureObserved(preds)
 		out[i] = rep
 		if err != nil {
 			return out, fmt.Errorf("shard %d: %w", i, err)
@@ -593,6 +605,7 @@ func (db *DB) Reconfigure() ([]engine.Report, error) {
 		// over-approximation deletions have accumulated.
 		db.sums.per[i].rebuild(db.stores[i], db.path)
 	}
+	db.preds.Reset()
 	return out, nil
 }
 

@@ -88,6 +88,40 @@ func (r *PredRecorder) Snapshot() []PredLoad {
 	return out
 }
 
+// Merge adds recorded predicate loads into the recorder — the seeding
+// path a durable engine uses to restore the checkpointed predicate mix on
+// reopen, and usable to fold one recorder's snapshot into another.
+// Nil-safe on the receiver; zero-valued loads are ignored.
+func (r *PredRecorder) Merge(loads []PredLoad) {
+	if r == nil {
+		return
+	}
+	for _, l := range loads {
+		if l.Path == "" {
+			continue
+		}
+		c, ok := r.m.Load(l.Path)
+		if !ok {
+			c, _ = r.m.LoadOrStore(l.Path, &predCell{})
+		}
+		cell := c.(*predCell)
+		cell.counts[PredEq].Add(l.Eq)
+		cell.counts[PredRange].Add(l.Range)
+		cell.counts[PredResidual].Add(l.Residual)
+	}
+}
+
+// predFor returns the load recorded against path (zero-valued when the
+// mix has no entry for it).
+func predFor(loads []PredLoad, path string) PredLoad {
+	for _, l := range loads {
+		if l.Path == path {
+			return l
+		}
+	}
+	return PredLoad{Path: path}
+}
+
 // Reset zeroes all counters (paths stay registered). Nil-safe.
 func (r *PredRecorder) Reset() {
 	if r == nil {

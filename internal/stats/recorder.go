@@ -200,6 +200,67 @@ func MergeWorkloads(ws ...Workload) Workload {
 	return out
 }
 
+// Evidence returns the total operation count backing a selection: the
+// class-level recorded operations plus every path's residual predicate
+// leaves. Residual leaves are answered by store navigation, never by an
+// engine query, so they are invisible to the class recorder — yet they
+// are exactly the traffic an index would absorb, so they count as
+// selection evidence.
+func (w Workload) Evidence() uint64 {
+	t := w.Total
+	for _, p := range w.Predicates {
+		t += p.Residual
+	}
+	return t
+}
+
+// EvidenceFor is Evidence restricted to one path: class-level operations
+// plus that path's own residual leaves. This is the normalization total
+// MergeObserved uses for a single-path engine.
+func (w Workload) EvidenceFor(path string) uint64 {
+	return w.Total + predFor(w.Predicates, path).Residual
+}
+
+// totalQueries sums the recorded class-level query counts.
+func totalQueries(w Workload) uint64 {
+	var q uint64
+	for _, c := range w.Classes {
+		q += c.Queries
+	}
+	return q
+}
+
+// foldPredicates derives the parameters the path's observed predicate mix
+// adds to the class-level derivation: the fraction fr of recorded queries
+// to reclassify as range predicates (indexed range probes land in the
+// class recorder as plain queries; the predicate channel is what tells
+// them apart), and the residual leaf count res. fr is pred.Range over the
+// recorded query total — every recorded range probe reclassifies exactly
+// one recorded query — capped at one.
+func foldPredicates(path string, w Workload) (fr float64, res uint64) {
+	p := predFor(w.Predicates, path)
+	if q := totalQueries(w); q > 0 && p.Range > 0 {
+		fr = float64(p.Range) / float64(q)
+		if fr > 1 {
+			fr = 1
+		}
+	}
+	return fr, p.Residual
+}
+
+// observedLoad maps one class's counts onto the model load over the
+// normalization total t: queries split between equality (Alpha) and range
+// (Rho) by fr, in-place updates as half an insertion plus half a deletion.
+func observedLoad(c ClassLoad, t, fr float64) model.Load {
+	q := float64(c.Queries) / t
+	return model.Load{
+		Alpha: q * (1 - fr),
+		Rho:   q * fr,
+		Beta:  (float64(c.Inserts) + float64(c.Updates)/2) / t,
+		Gamma: (float64(c.Deletes) + float64(c.Updates)/2) / t,
+	}
+}
+
 // MergeObserved writes the observed workload into ps's load triplets as
 // relative frequencies normalized to sum one — the Section 3.2 form the
 // cost model expects. Classes with no observed traffic get a zero triplet:
@@ -212,32 +273,77 @@ func MergeWorkloads(ws ...Workload) Workload {
 // removal plus one entry addition — the same page work the beta and gamma
 // terms price. Each update still weighs exactly one operation in the
 // normalization.
+//
+// When the snapshot carries a predicate mix for ps's path
+// (Workload.Predicates), it refines the derivation two ways, both
+// scale-invariant so re-observing the same mix reproduces the same
+// loads (the feedback fixed point):
+//
+//   - recorded range probes reclassify an equal count of each class's
+//     recorded queries from equality (Alpha) to range (Rho) pricing,
+//     proportionally across classes;
+//   - residual leaves — predicate evaluations served by store navigation,
+//     which the class recorder never saw — enter the normalization total
+//     and are charged as equality queries against the path's root class,
+//     the retrieval class a planner probe would target if the path had an
+//     index. A residual-heavy path therefore carries real query load into
+//     selection and earns an index on its cost merits.
+//
+// With an empty predicate mix the derivation is exactly the historical
+// one (all-Alpha queries), bit for bit.
 func MergeObserved(ps *model.PathStats, w Workload) error {
 	if ps == nil {
 		return fmt.Errorf("stats: nil path stats")
 	}
-	if w.Total == 0 {
+	fr, res := foldPredicates(ps.Path.String(), w)
+	t := float64(w.Total) + float64(res)
+	if t == 0 {
 		return fmt.Errorf("stats: empty observed workload")
 	}
+	return mergeObservedInto(ps, w, t, fr, res, false)
+}
+
+// MergeObservedScaled is MergeObserved normalizing by an explicit total —
+// the fleet-wide evidence across several paths (Workload.Evidence) — and
+// skipping observed classes outside ps's scope instead of erroring. One
+// global snapshot can then weight several paths' statistics while
+// preserving their relative traffic: a path serving 90% of the observed
+// operations carries 90% of the load mass into its selection.
+func MergeObservedScaled(ps *model.PathStats, w Workload, total float64) error {
+	if ps == nil {
+		return fmt.Errorf("stats: nil path stats")
+	}
+	if total <= 0 {
+		return fmt.Errorf("stats: non-positive normalization total %g", total)
+	}
+	fr, res := foldPredicates(ps.Path.String(), w)
+	return mergeObservedInto(ps, w, total, fr, res, true)
+}
+
+// mergeObservedInto zeroes ps's loads and writes the derivation in.
+// lenient skips observed classes outside ps's scope (the multi-path
+// case, where one snapshot spans several overlapping paths).
+func mergeObservedInto(ps *model.PathStats, w Workload, t, fr float64, res uint64, lenient bool) error {
 	for l := 1; l <= ps.Len(); l++ {
 		ls := ps.Level(l)
 		for i := range ls.Loads {
 			ls.Loads[i] = model.Load{}
 		}
 	}
-	t := float64(w.Total)
 	for _, c := range w.Classes {
 		if c.Ops() == 0 {
 			continue
 		}
-		load := model.Load{
-			Alpha: float64(c.Queries) / t,
-			Beta:  (float64(c.Inserts) + float64(c.Updates)/2) / t,
-			Gamma: (float64(c.Deletes) + float64(c.Updates)/2) / t,
-		}
-		if err := ps.SetLoad(c.Level, c.Class, load); err != nil {
+		if err := ps.SetLoad(c.Level, c.Class, observedLoad(c, t, fr)); err != nil {
+			if lenient {
+				continue
+			}
 			return err
 		}
+	}
+	if res > 0 {
+		// The root class leads its level-1 hierarchy (LevelStats contract).
+		ps.Level(1).Loads[0].Alpha += float64(res) / t
 	}
 	return nil
 }
@@ -248,6 +354,12 @@ func MergeObserved(ps *model.PathStats, w Workload) error {
 // distance is taken. Zero means the observed mix matches the assumption
 // exactly; one means disjoint support. An all-zero assumption drifts
 // maximally as soon as any traffic is observed.
+//
+// The observed side is derived exactly as MergeObserved derives it —
+// including the predicate-mix refinements (range reclassification into
+// the Rho component, residual leaves as root-class queries) — so a
+// baseline adopted from MergeObserved on a snapshot has zero drift
+// against that same mix: the feedback loop's fixed point.
 func LoadDrift(ps *model.PathStats, w Workload) float64 {
 	type cell struct {
 		level int
@@ -260,18 +372,22 @@ func LoadDrift(ps *model.PathStats, w Workload) float64 {
 		for i, c := range ls.Classes {
 			ld := ls.Loads[i]
 			assumed[cell{l, c.Class}] = ld
-			assumedSum += ld.Alpha + ld.Beta + ld.Gamma
+			assumedSum += ld.Alpha + ld.Beta + ld.Gamma + ld.Rho
 		}
 	}
-	if w.Total == 0 {
+	fr, res := foldPredicates(ps.Path.String(), w)
+	obsSum := float64(w.Total) + float64(res)
+	if obsSum == 0 {
 		return 0
 	}
 	if assumedSum <= 0 {
 		return 1
 	}
-	obsSum := float64(w.Total)
+	rootKey := cell{1, ps.Level(1).Classes[0].Class}
+	resMass := float64(res) / obsSum
 	var dist float64
 	seen := make(map[cell]bool)
+	seenRoot := false
 	for _, c := range w.Classes {
 		key := cell{c.Level, c.Class}
 		seen[key] = true
@@ -279,16 +395,28 @@ func LoadDrift(ps *model.PathStats, w Workload) float64 {
 		// Updates map onto the triplet the same way MergeObserved maps
 		// them: half beta, half gamma. Update-heavy traffic against a
 		// query-heavy baseline therefore registers as drift.
-		dist += math.Abs(a.Alpha/assumedSum - float64(c.Queries)/obsSum)
-		dist += math.Abs(a.Beta/assumedSum - (float64(c.Inserts)+float64(c.Updates)/2)/obsSum)
-		dist += math.Abs(a.Gamma/assumedSum - (float64(c.Deletes)+float64(c.Updates)/2)/obsSum)
+		o := observedLoad(c, obsSum, fr)
+		if key == rootKey {
+			o.Alpha += resMass
+			seenRoot = true
+		}
+		dist += math.Abs(a.Alpha/assumedSum - o.Alpha)
+		dist += math.Abs(a.Beta/assumedSum - o.Beta)
+		dist += math.Abs(a.Gamma/assumedSum - o.Gamma)
+		dist += math.Abs(a.Rho/assumedSum - o.Rho)
+	}
+	if resMass > 0 && !seenRoot {
+		a := assumed[rootKey]
+		seen[rootKey] = true
+		dist += math.Abs(a.Alpha/assumedSum - resMass)
+		dist += (a.Beta + a.Gamma + a.Rho) / assumedSum
 	}
 	// Assumed load on classes the observation has no entry for (e.g. a
 	// different-but-overlapping path scope) counts fully toward the
 	// distance.
 	for key, a := range assumed {
 		if !seen[key] {
-			dist += (a.Alpha + a.Beta + a.Gamma) / assumedSum
+			dist += (a.Alpha + a.Beta + a.Gamma + a.Rho) / assumedSum
 		}
 	}
 	return dist / 2
